@@ -1,0 +1,64 @@
+"""Ablation A2 — the dynamic capacity-constraint proportion.
+
+The paper fixes the constraint at 1.05x the average partition size and
+notes that "decreasing the proportion of capacity constraint can
+facilitate load balance but at the expense of decreased graph locality".
+This ablation sweeps the proportion and reports the locality/balance
+trade-off plus the simulated 3-hop latency, making that sentence
+quantitative.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_batch_size, bench_scale
+
+from repro.bench import format_table, khop_workload, scaled_cost_model
+from repro.core import Moctopus, MoctopusConfig
+from repro.graph import load_dataset
+
+#: Trace #7 (com-amazon): community structure, mild skew — the case where
+#: the trade-off is most visible.
+ABLATION_TRACE = 7
+CAPACITY_FACTORS = (1.01, 1.05, 1.25, 1.5, 2.0)
+
+
+def _run():
+    graph = load_dataset(ABLATION_TRACE, scale=bench_scale())
+    cost_model = scaled_cost_model()
+    query = khop_workload(graph, hops=3, batch_size=bench_batch_size(), seed=5)
+    rows = []
+    for factor in CAPACITY_FACTORS:
+        system = Moctopus.from_graph(
+            graph,
+            MoctopusConfig(cost_model=cost_model, capacity_factor=factor),
+        )
+        quality = system.partition_quality()
+        _, stats = system.batch_khop(query.sources, query.hops)
+        rows.append(
+            [
+                factor,
+                round(quality.locality_fraction, 3),
+                round(quality.balance_factor, 3),
+                round(stats.total_time_ms, 4),
+                round(stats.ipc_time_ms, 4),
+            ]
+        )
+    return rows
+
+
+def test_ablation_capacity_constraint(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print("Ablation A2: capacity-constraint proportion sweep (trace #7)")
+    print(
+        format_table(
+            ["capacity_factor", "locality", "balance", "3hop_latency_ms", "ipc_ms"],
+            rows,
+        )
+    )
+    tightest = rows[0]
+    loosest = rows[-1]
+    # Loosening the constraint must not reduce locality, and tightening it
+    # must not worsen balance — the two ends of the paper's trade-off.
+    assert loosest[1] >= tightest[1]
+    assert tightest[2] <= loosest[2] + 1e-9

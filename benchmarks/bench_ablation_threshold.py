@@ -1,0 +1,65 @@
+"""Ablation A3 — the high-degree threshold of the labor-division split.
+
+The paper (and Table 1) classify nodes with out-degree above 16 as
+high-degree and keep them on the host CPU.  This ablation sweeps the
+threshold on a skewed trace and reports how many nodes land on the host,
+the PIM load imbalance during a 3-hop query, and the query latency —
+showing why "no labor division" (threshold = infinity) suffers on skewed
+graphs and why a very low threshold overloads the host.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_batch_size, bench_scale
+
+from repro.bench import format_table, khop_workload, scaled_cost_model
+from repro.core import Moctopus, MoctopusConfig
+from repro.graph import load_dataset
+from repro.partition import load_imbalance
+
+#: Trace #12 (web-Stanford): the most skewed trace in Table 1.
+ABLATION_TRACE = 12
+THRESHOLDS = (4, 8, 16, 32, 64, None)
+
+
+def _run():
+    graph = load_dataset(ABLATION_TRACE, scale=bench_scale())
+    cost_model = scaled_cost_model()
+    query = khop_workload(graph, hops=3, batch_size=bench_batch_size(), seed=7)
+    rows = []
+    for threshold in THRESHOLDS:
+        system = Moctopus.from_graph(
+            graph,
+            MoctopusConfig(cost_model=cost_model, high_degree_threshold=threshold),
+        )
+        _, stats = system.batch_khop(query.sources, query.hops)
+        rows.append(
+            [
+                "none" if threshold is None else threshold,
+                system.host_node_count(),
+                round(load_imbalance(system.pim.load_report()), 2),
+                round(stats.total_time_ms, 4),
+                round(stats.host_time * 1e3, 4),
+                round(stats.pim_time * 1e3, 4),
+            ]
+        )
+    return rows
+
+
+def test_ablation_high_degree_threshold(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print("Ablation A3: labor-division high-degree threshold sweep (trace #12)")
+    print(
+        format_table(
+            ["threshold", "host_nodes", "pim_load_imbalance", "3hop_latency_ms",
+             "host_ms", "pim_ms"],
+            rows,
+        )
+    )
+    by_threshold = {row[0]: row for row in rows}
+    # Disabling labor division leaves no nodes on the host and a worse (or
+    # equal) PIM load imbalance than the paper's threshold of 16.
+    assert by_threshold["none"][1] == 0
+    assert by_threshold[16][1] > 0
+    assert by_threshold[16][2] <= by_threshold["none"][2] + 1e-9

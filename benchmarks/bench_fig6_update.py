@@ -1,0 +1,64 @@
+"""Experiments E5/E6 — Figure 6: graph update latency (insert and delete).
+
+Random edge batches are inserted into and deleted from every trace on
+Moctopus and on the RedisGraph-like baseline.  The paper reports average
+speedups of 30.01x for insertion and 52.59x for deletion (up to 81.45x /
+209.31x); the shape assertions here are that Moctopus wins on every
+trace and that deletions benefit at least as much as insertions.
+
+Fresh systems are built for this figure (updates mutate the stores, so
+the cached query systems are left untouched).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_batch_size, bench_scale, bench_traces
+
+from repro.bench import format_table, geometric_mean, run_update_experiment, scaled_cost_model
+
+
+def _run():
+    return run_update_experiment(
+        bench_traces(),
+        batch_size=bench_batch_size(),
+        scale=bench_scale(),
+        cost_model=scaled_cost_model(),
+    )
+
+
+def test_fig6_graph_update_latency(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print("Figure 6(a): edge insertion run-time (ms)")
+    print(
+        format_table(
+            ["trace", "name", "moctopus_ms", "redisgraph_ms", "speedup"],
+            [
+                [row["trace"], row["name"], row["moctopus_insert_ms"],
+                 row["redisgraph_insert_ms"], row["insert_speedup"]]
+                for row in rows
+            ],
+        )
+    )
+    print()
+    print("Figure 6(b): edge deletion run-time (ms)")
+    print(
+        format_table(
+            ["trace", "name", "moctopus_ms", "redisgraph_ms", "speedup"],
+            [
+                [row["trace"], row["name"], row["moctopus_delete_ms"],
+                 row["redisgraph_delete_ms"], row["delete_speedup"]]
+                for row in rows
+            ],
+        )
+    )
+    insert_speedups = [row["insert_speedup"] for row in rows]
+    delete_speedups = [row["delete_speedup"] for row in rows]
+    print(
+        f"  average insert speedup: {geometric_mean(insert_speedups):.2f}x "
+        f"(paper: 30.01x), average delete speedup: "
+        f"{geometric_mean(delete_speedups):.2f}x (paper: 52.59x)"
+    )
+    assert all(speedup > 2.0 for speedup in insert_speedups)
+    assert all(speedup > 2.0 for speedup in delete_speedups)
+    assert geometric_mean(delete_speedups) >= geometric_mean(insert_speedups)

@@ -1,0 +1,58 @@
+"""Experiment E1 — Table 1: dataset statistics.
+
+Regenerates the paper's Table 1 for the synthetic stand-ins: node count,
+edge count and the percentage of high-degree nodes (out-degree > 16) per
+trace.  The shape requirement is that the road-network traces (#1-#3)
+and the plain co-purchase traces (#13-#15) report (near) zero high-degree
+nodes while the citation/social/web traces report a small positive
+percentage, mirroring the skew classes of the original SNAP graphs.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, bench_traces
+
+from repro.bench import format_table
+from repro.graph import HIGH_DEGREE_THRESHOLD, dataset_spec, dataset_statistics, load_dataset
+
+
+def _table_rows():
+    rows = []
+    for trace_id in bench_traces():
+        spec = dataset_spec(trace_id)
+        graph = load_dataset(trace_id, scale=bench_scale())
+        stats = dataset_statistics(graph, threshold=HIGH_DEGREE_THRESHOLD)
+        rows.append(
+            [
+                f"#{trace_id}",
+                spec.name,
+                spec.paper_nodes,
+                int(stats["nodes"]),
+                int(stats["edges"]),
+                spec.paper_high_degree_pct,
+                round(stats["high_degree_pct"], 2),
+            ]
+        )
+    return rows
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(_table_rows, rounds=1, iterations=1)
+    print()
+    print("Table 1: real-world graphs and their synthetic stand-ins")
+    print(
+        format_table(
+            [
+                "trace", "name", "paper_nodes", "nodes", "edges",
+                "paper_hd_pct", "hd_pct",
+            ],
+            rows,
+        )
+    )
+    by_trace = {row[0]: row for row in rows}
+    for trace in ("#1", "#2", "#3"):
+        if trace in by_trace:
+            assert by_trace[trace][6] == 0.0, "road networks must have no hubs"
+    for trace in ("#5", "#6", "#11", "#12"):
+        if trace in by_trace:
+            assert by_trace[trace][6] > 0.3, "skewed traces must contain hubs"

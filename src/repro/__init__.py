@@ -1,0 +1,65 @@
+"""Moctopus reproduction: PIM-accelerated regular path queries over graph databases.
+
+This package reproduces the system described in *"Accelerating Regular
+Path Queries over Graph Database with Processing-in-Memory"* (DAC 2024).
+It contains:
+
+``repro.graph``
+    The graph substrate: property graphs, adjacency structures, sparse
+    boolean matrices with GraphBLAS-style semiring operations, synthetic
+    dataset generators mirroring the paper's SNAP workloads, and update
+    streams.
+
+``repro.pim``
+    A simulator of a commodity processing-in-memory platform (UPMEM-like):
+    a host CPU with a cache/DRAM cost model, a set of PIM modules with
+    small local memories, and CPU-PIM / inter-PIM communication channels
+    with bandwidth accounting.
+
+``repro.partition``
+    Graph partitioning algorithms: hash, Linear Deterministic Greedy,
+    adaptive repartitioning, and the paper's radical-greedy heuristic with
+    a dynamic capacity constraint, plus partition quality metrics.
+
+``repro.rpq``
+    A regular path query engine: path-regex parsing, automaton
+    construction, logical planning into matrix-based execution plans, and
+    a reference evaluator used as a correctness oracle.
+
+``repro.core``
+    Moctopus itself: the query processor, graph partitioner and node
+    migrator, PIM local graph storage, heterogeneous graph storage for
+    high-degree nodes, and the top-level :class:`repro.core.Moctopus`
+    facade.
+
+``repro.baselines``
+    The two comparison systems from the paper's evaluation: a
+    RedisGraph-like single-node GraphBLAS engine and the PIM-hash scheme.
+
+``repro.bench``
+    Workload generators, an experiment runner and report formatting used
+    by the ``benchmarks/`` harness to regenerate every table and figure.
+"""
+
+from repro.graph import BooleanMatrix, DiGraph, PropertyGraph
+from repro.pim import CostModel, PIMSystem
+from repro.rpq import KHopQuery, RPQuery
+from repro.core import Moctopus, MoctopusConfig
+from repro.baselines import PIMHashSystem, RedisGraphEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "PropertyGraph",
+    "BooleanMatrix",
+    "Moctopus",
+    "MoctopusConfig",
+    "RedisGraphEngine",
+    "PIMHashSystem",
+    "CostModel",
+    "PIMSystem",
+    "RPQuery",
+    "KHopQuery",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Comparison systems used in the paper's evaluation.
+
+* :class:`RedisGraphEngine` — a single-node GraphBLAS-style sparse
+  matrix engine with a host-only cost model (the paper's RedisGraph
+  baseline);
+* :class:`PIMHashSystem` — Moctopus's execution engine with plain hash
+  partitioning (the paper's PIM-hash contrast system).
+"""
+
+from repro.baselines.pim_hash import PIMHashSystem
+from repro.baselines.redisgraph import RedisGraphEngine
+
+__all__ = ["RedisGraphEngine", "PIMHashSystem"]

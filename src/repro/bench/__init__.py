@@ -1,0 +1,55 @@
+"""Benchmark support: workloads, experiment runner and report formatting.
+
+The ``benchmarks/`` directory at the repository root contains one
+pytest-benchmark module per table/figure of the paper; all of them are
+thin wrappers around the functions in this package so the same
+experiments can also be driven from a notebook or an example script.
+"""
+
+from repro.bench.workloads import (
+    DATASET_SCALE_FRACTION,
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_NUM_MODULES,
+    PAPER_BATCH_SIZE,
+    UpdateWorkload,
+    khop_workload,
+    scaled_cost_model,
+    update_workload,
+)
+from repro.bench.runner import (
+    SystemProvider,
+    SystemSet,
+    build_systems,
+    load_trace,
+    run_ipc_experiment,
+    run_khop_experiment,
+    run_update_experiment,
+)
+from repro.bench.report import (
+    format_table,
+    geometric_mean,
+    rows_to_dicts,
+    speedup_summary,
+)
+
+__all__ = [
+    "DATASET_SCALE_FRACTION",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_NUM_MODULES",
+    "PAPER_BATCH_SIZE",
+    "UpdateWorkload",
+    "khop_workload",
+    "update_workload",
+    "scaled_cost_model",
+    "SystemProvider",
+    "SystemSet",
+    "build_systems",
+    "load_trace",
+    "run_khop_experiment",
+    "run_ipc_experiment",
+    "run_update_experiment",
+    "format_table",
+    "geometric_mean",
+    "speedup_summary",
+    "rows_to_dicts",
+]

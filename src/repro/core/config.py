@@ -1,0 +1,94 @@
+"""Configuration of a Moctopus instance.
+
+All the tunables the paper mentions live here so that benchmarks and
+ablations can sweep them:
+
+* the number of PIM modules (the paper uses one UPMEM rank = 64);
+* the high-degree threshold of the labor-division approach (16);
+* the capacity-constraint proportion of the radical greedy heuristic
+  (1.05);
+* the detection threshold for "incorrectly partitioned" nodes (a node is
+  reported when more than half of its next hops live on other modules);
+* switches to disable labor division or migration, which is how the
+  PIM-hash contrast system and the ablation benches are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.pim.cost_model import CostModel
+from repro.partition.labor_division import DEFAULT_HIGH_DEGREE_THRESHOLD
+from repro.partition.radical_greedy import DEFAULT_CAPACITY_FACTOR
+
+
+@dataclass
+class MoctopusConfig:
+    """Tunable parameters of a :class:`repro.core.system.Moctopus` instance."""
+
+    #: Simulated platform parameters (module count, bandwidths, ...).
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Out-degree above which a node is treated as high-degree and kept on
+    #: the host (labor division).  ``None`` disables labor division.
+    high_degree_threshold: Optional[int] = DEFAULT_HIGH_DEGREE_THRESHOLD
+    #: Capacity-constraint proportion of the radical greedy partitioner.
+    capacity_factor: float = DEFAULT_CAPACITY_FACTOR
+    #: Partitioning policy for low-degree nodes: ``"radical_greedy"`` (the
+    #: paper's design) or ``"hash"`` (the PIM-hash contrast system).
+    pim_placement: str = "radical_greedy"
+    #: Fraction of a node's next hops that must be non-local before the
+    #: operator processor reports it as incorrectly partitioned.
+    misplacement_threshold: float = 0.5
+    #: Whether the node migrator is allowed to move misplaced nodes after
+    #: a query (the adaptive half of greedy-adaptive partitioning).
+    enable_migration: bool = True
+    #: Capacity proportion the *migrator* respects when moving a node to
+    #: its majority partition.  The paper bounds load balance at
+    #: assignment time (1.05x) but migration exists purely to recover
+    #: locality, so it is allowed to overshoot the assignment constraint
+    #: moderately; hot hubs are already on the host, so node-count skew
+    #: from migration translates into little work skew.
+    migration_capacity_factor: float = 1.5
+    #: Upper bound on migrations applied after one batch query, to keep
+    #: migration overhead bounded as the paper intends.
+    max_migrations_per_query: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.pim_placement not in ("radical_greedy", "hash"):
+            raise ValueError(
+                "pim_placement must be 'radical_greedy' or 'hash', "
+                f"got {self.pim_placement!r}"
+            )
+        if not 0.0 < self.misplacement_threshold <= 1.0:
+            raise ValueError("misplacement_threshold must be in (0, 1]")
+        if self.capacity_factor < 1.0:
+            raise ValueError("capacity_factor must be >= 1.0")
+        if self.migration_capacity_factor < 1.0:
+            raise ValueError("migration_capacity_factor must be >= 1.0")
+        if self.high_degree_threshold is not None and self.high_degree_threshold <= 0:
+            raise ValueError("high_degree_threshold must be positive or None")
+
+    @property
+    def num_modules(self) -> int:
+        """Number of PIM modules in the simulated platform."""
+        return self.cost_model.num_modules
+
+    @property
+    def labor_division_enabled(self) -> bool:
+        """Whether high-degree nodes are routed to the host."""
+        return self.high_degree_threshold is not None
+
+    @classmethod
+    def pim_hash_config(cls, cost_model: Optional[CostModel] = None) -> "MoctopusConfig":
+        """Configuration of the paper's PIM-hash contrast system.
+
+        All nodes are hash-partitioned across PIM modules; no labor
+        division, no migration.
+        """
+        return cls(
+            cost_model=cost_model or CostModel(),
+            high_degree_threshold=None,
+            pim_placement="hash",
+            enable_migration=False,
+        )

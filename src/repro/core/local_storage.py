@@ -1,0 +1,158 @@
+"""Local graph storage of a PIM module.
+
+Each PIM module keeps the adjacency-matrix segment of the graph nodes
+assigned to it as a hash map from row id (NodeID) to the row data — the
+list of next-hop NodeIDs (and their edge labels).  A hash map is used
+for its concurrency and scalability, exactly as the paper describes; in
+the simulator it is a Python dict plus byte accounting against the
+module's 64 MB local memory.
+
+The storage itself is purely functional with respect to simulation: it
+mutates data and reports what happened (row length read, whether an edge
+existed, ...), while the *processors* translate those reports into
+charged work on the simulated hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graph.digraph import DEFAULT_LABEL
+from repro.pim.memory import LocalMemory
+
+#: Bytes charged per stored next-hop entry (NodeID + label).
+BYTES_PER_ENTRY = 12
+#: Fixed bytes charged per row (hash-map bucket + header).
+BYTES_PER_ROW = 32
+
+
+class LocalGraphStorage:
+    """Hash-map adjacency segment stored in one PIM module's local memory."""
+
+    def __init__(self, memory: Optional[LocalMemory] = None) -> None:
+        self._rows: Dict[int, List[Tuple[int, int]]] = {}
+        self._memory = memory
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of graph nodes stored on this module."""
+        return len(self._rows)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of next-hop entries stored on this module."""
+        return self._num_edges
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes of local memory this segment occupies."""
+        return len(self._rows) * BYTES_PER_ROW + self._num_edges * BYTES_PER_ENTRY
+
+    def has_row(self, node: int) -> bool:
+        """Whether ``node``'s row lives on this module."""
+        return node in self._rows
+
+    def rows(self) -> Iterator[int]:
+        """Iterate over stored row ids."""
+        return iter(self._rows)
+
+    def row_length(self, node: int) -> int:
+        """Out-degree of ``node`` on this module (0 when absent)."""
+        row = self._rows.get(node)
+        return 0 if row is None else len(row)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def ensure_row(self, node: int) -> bool:
+        """Create an empty row for ``node``; return ``True`` if it was new."""
+        if node in self._rows:
+            return False
+        if self._memory is not None:
+            self._memory.allocate(BYTES_PER_ROW)
+        self._rows[node] = []
+        return True
+
+    def add_edge(self, src: int, dst: int, label: int = DEFAULT_LABEL) -> bool:
+        """Insert ``src -> dst``; return ``True`` if the edge was new."""
+        self.ensure_row(src)
+        row = self._rows[src]
+        for index, (existing_dst, _) in enumerate(row):
+            if existing_dst == dst:
+                row[index] = (dst, label)
+                return False
+        if self._memory is not None:
+            self._memory.allocate(BYTES_PER_ENTRY)
+        row.append((dst, label))
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, src: int, dst: int) -> bool:
+        """Delete ``src -> dst``; return ``True`` if it existed."""
+        row = self._rows.get(src)
+        if row is None:
+            return False
+        for index, (existing_dst, _) in enumerate(row):
+            if existing_dst == dst:
+                del row[index]
+                self._num_edges -= 1
+                if self._memory is not None:
+                    self._memory.free(BYTES_PER_ENTRY)
+                return True
+        return False
+
+    def remove_row(self, node: int) -> List[Tuple[int, int]]:
+        """Remove ``node``'s row entirely and return its entries.
+
+        Used when the node migrator relocates a node to another computing
+        node: the row data travels with it.
+        """
+        row = self._rows.pop(node, None)
+        if row is None:
+            return []
+        self._num_edges -= len(row)
+        if self._memory is not None:
+            self._memory.free(BYTES_PER_ROW + len(row) * BYTES_PER_ENTRY)
+        return row
+
+    def insert_row(self, node: int, entries: List[Tuple[int, int]]) -> None:
+        """Install a full row (the receiving side of a migration)."""
+        if node in self._rows:
+            raise ValueError(f"row {node} already exists on this module")
+        if self._memory is not None:
+            self._memory.allocate(BYTES_PER_ROW + len(entries) * BYTES_PER_ENTRY)
+        self._rows[node] = list(entries)
+        self._num_edges += len(entries)
+
+    # ------------------------------------------------------------------
+    # Query access
+    # ------------------------------------------------------------------
+    def next_hops(self, node: int) -> List[int]:
+        """Next-hop NodeIDs of ``node`` (empty when the row is absent)."""
+        row = self._rows.get(node)
+        if row is None:
+            return []
+        return [dst for dst, _ in row]
+
+    def next_hops_with_labels(self, node: int) -> List[Tuple[int, int]]:
+        """Next hops of ``node`` as ``(dst, label)`` pairs."""
+        row = self._rows.get(node)
+        if row is None:
+            return []
+        return list(row)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether ``src -> dst`` is stored on this module."""
+        row = self._rows.get(src)
+        if row is None:
+            return False
+        return any(existing_dst == dst for existing_dst, _ in row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalGraphStorage(rows={self.num_rows}, edges={self.num_edges})"
+        )

@@ -1,0 +1,152 @@
+"""The Operator Processor running on every PIM module.
+
+Each PIM module parses operators received from the host and executes
+them against its local graph storage.  In the simulator the processor
+performs the real data manipulation (so results are exact) and reports
+*work counters* that the query/update processors convert into simulated
+time on the owning :class:`~repro.pim.module.PIMModule`.
+
+While expanding a frontier, the processor also performs the paper's
+misplacement detection: a node whose next hops mostly live outside the
+local module is reported as incorrectly partitioned, overlapping the
+detection with query processing exactly as Section 3.2.2 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.local_storage import BYTES_PER_ENTRY, LocalGraphStorage
+from repro.rpq.automaton import DFA
+
+
+@dataclass
+class SmxmWork:
+    """Work performed by one module during one ``smxm`` operator."""
+
+    #: Hash-map row lookups (random local-memory accesses).
+    rows_touched: int = 0
+    #: Bytes of row data streamed from local memory.
+    bytes_streamed: int = 0
+    #: Items processed by the wimpy core (one per produced frontier entry).
+    items_processed: int = 0
+    #: Nodes whose next hops are mostly non-local: ``node -> (local, remote)``.
+    misplacement_reports: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class UpdateWork:
+    """Work performed by one module during an ``add``/``sub`` operator."""
+
+    map_lookups: int = 0
+    bytes_streamed: int = 0
+    items_processed: int = 0
+    applied: int = 0
+
+
+class OperatorProcessor:
+    """Executes operators against one module's local graph storage."""
+
+    def __init__(
+        self,
+        module_id: int,
+        storage: LocalGraphStorage,
+        misplacement_threshold: float = 0.5,
+    ) -> None:
+        self.module_id = module_id
+        self.storage = storage
+        self.misplacement_threshold = misplacement_threshold
+
+    # ------------------------------------------------------------------
+    # smxm
+    # ------------------------------------------------------------------
+    def process_smxm(
+        self,
+        frontier: Dict[int, Set[object]],
+        dfa: Optional[DFA] = None,
+        label_names: Optional[Dict[int, str]] = None,
+        detect_misplacement: bool = True,
+    ) -> Tuple[Dict[int, Set[object]], SmxmWork]:
+        """Expand ``frontier`` against the local adjacency segment.
+
+        Parameters
+        ----------
+        frontier:
+            ``node -> set of contexts``; a context is a query row (k-hop
+            plans) or a ``(row, automaton_state)`` pair (general RPQs).
+        dfa:
+            When given, contexts are ``(row, state)`` pairs and each edge
+            label steps the automaton; contexts that the automaton
+            rejects are dropped.
+        label_names:
+            Integer-label to query-label-string mapping for DFA stepping.
+        detect_misplacement:
+            Whether to report nodes whose next hops are mostly remote.
+
+        Returns
+        -------
+        (produced, work):
+            ``produced`` maps destination node to the set of contexts now
+            sitting on it; ``work`` holds the counters to charge.
+        """
+        produced: Dict[int, Set[object]] = {}
+        work = SmxmWork()
+        for node, contexts in frontier.items():
+            next_hops = self.storage.next_hops_with_labels(node)
+            work.rows_touched += 1
+            work.bytes_streamed += len(next_hops) * BYTES_PER_ENTRY
+            if not next_hops:
+                continue
+            local = 0
+            for destination, label in next_hops:
+                if self.storage.has_row(destination):
+                    local += 1
+                if dfa is None:
+                    work.items_processed += len(contexts)
+                    produced.setdefault(destination, set()).update(contexts)
+                else:
+                    label_string = (
+                        label_names[label]
+                        if label_names and label in label_names
+                        else str(label)
+                    )
+                    for context in contexts:
+                        work.items_processed += 1
+                        row, state = context
+                        next_state = dfa.step(state, label_string)
+                        if next_state is None:
+                            continue
+                        produced.setdefault(destination, set()).add((row, next_state))
+            if detect_misplacement:
+                remote = len(next_hops) - local
+                if remote > 0 and remote / len(next_hops) > self.misplacement_threshold:
+                    work.misplacement_reports[node] = (local, remote)
+        return produced, work
+
+    # ------------------------------------------------------------------
+    # add / sub
+    # ------------------------------------------------------------------
+    def process_add(self, edges: List[Tuple[int, int, int]]) -> UpdateWork:
+        """Apply a batch of edge insertions to the local segment."""
+        work = UpdateWork()
+        for src, dst, label in edges:
+            row_length = self.storage.row_length(src)
+            work.map_lookups += 1
+            work.bytes_streamed += row_length * BYTES_PER_ENTRY
+            work.items_processed += 1
+            if self.storage.add_edge(src, dst, label):
+                work.applied += 1
+        return work
+
+    def process_sub(self, edges: List[Tuple[int, int]]) -> UpdateWork:
+        """Apply a batch of edge deletions to the local segment."""
+        work = UpdateWork()
+        for src, dst in edges:
+            row_length = self.storage.row_length(src)
+            work.map_lookups += 1
+            work.bytes_streamed += row_length * BYTES_PER_ENTRY
+            work.items_processed += 1
+            if self.storage.remove_edge(src, dst):
+                work.applied += 1
+        return work

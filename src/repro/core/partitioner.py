@@ -1,0 +1,106 @@
+"""Moctopus's Graph Partitioner component.
+
+Wires the partitioning policies of :mod:`repro.partition` into the
+configuration the rest of the system expects:
+
+* with the default configuration, low-degree nodes are placed by the
+  radical greedy heuristic (first-neighbor placement with the 1.05x
+  dynamic capacity constraint) and high-degree nodes are routed to the
+  host by the labor-division wrapper;
+* with :meth:`MoctopusConfig.pim_hash_config`, every node is placed by a
+  plain hash, reproducing the paper's PIM-hash contrast system.
+
+The partitioner owns the ``node_partition_vector`` (the
+:class:`~repro.partition.base.PartitionMap`), which records every
+placement decision so new nodes can be assigned in O(1) by consulting
+their first neighbor's entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import MoctopusConfig
+from repro.partition.base import HOST_PARTITION, PartitionMap, StreamingPartitioner
+from repro.partition.hash_partition import HashPartitioner
+from repro.partition.labor_division import LaborDivisionPartitioner
+from repro.partition.radical_greedy import RadicalGreedyPartitioner
+
+
+class GraphPartitioner:
+    """The component deciding which computing node owns each graph node."""
+
+    def __init__(self, config: MoctopusConfig) -> None:
+        self._config = config
+        if config.pim_placement == "radical_greedy":
+            pim_policy: StreamingPartitioner = RadicalGreedyPartitioner(
+                config.num_modules, capacity_factor=config.capacity_factor
+            )
+        else:
+            pim_policy = HashPartitioner(config.num_modules)
+        self._pim_policy = pim_policy
+        if config.labor_division_enabled:
+            self._policy: StreamingPartitioner = LaborDivisionPartitioner(
+                pim_policy, high_degree_threshold=config.high_degree_threshold
+            )
+        else:
+            self._policy = pim_policy
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def ingest_edge(self, src: int, dst: int) -> Tuple[int, int]:
+        """Observe an arriving edge and place any unseen endpoint.
+
+        Returns the ``(src_partition, dst_partition)`` pair *after* the
+        edge has been taken into account; the source may have just been
+        promoted to the host if its degree crossed the threshold.
+        """
+        return self._policy.ingest_edge(src, dst)
+
+    def assign_node(self, node: int, first_neighbor: Optional[int] = None) -> int:
+        """Place an isolated new node (no edge yet)."""
+        return self._policy.assign_node(node, first_neighbor=first_neighbor)
+
+    def partition_of(self, node: int) -> Optional[int]:
+        """Partition of ``node`` (``HOST_PARTITION`` for the host, ``None`` if unknown)."""
+        return self._policy.partition_of(node)
+
+    def migrate(self, node: int, target_partition: int) -> None:
+        """Record that ``node`` now lives on ``target_partition``."""
+        self.partition_map.assign(node, target_partition)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def partition_map(self) -> PartitionMap:
+        """The ``node_partition_vector``."""
+        return self._policy.partition_map
+
+    @property
+    def num_modules(self) -> int:
+        """Number of PIM partitions."""
+        return self._config.num_modules
+
+    def is_host(self, node: int) -> bool:
+        """Whether ``node`` currently lives on the host partition."""
+        return self.partition_of(node) == HOST_PARTITION
+
+    def greedy_placements(self) -> int:
+        """Placements that followed the first-neighbor heuristic (0 for hash)."""
+        if isinstance(self._pim_policy, RadicalGreedyPartitioner):
+            return self._pim_policy.greedy_placements
+        return 0
+
+    def fallback_placements(self) -> int:
+        """Placements diverted by the capacity constraint (0 for hash)."""
+        if isinstance(self._pim_policy, RadicalGreedyPartitioner):
+            return self._pim_policy.fallback_placements
+        return 0
+
+    def promotions(self) -> int:
+        """Nodes promoted to the host because they became high-degree."""
+        if isinstance(self._policy, LaborDivisionPartitioner):
+            return self._policy.promotions
+        return 0

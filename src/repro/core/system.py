@@ -1,0 +1,285 @@
+"""The Moctopus system facade.
+
+:class:`Moctopus` wires every component together — the simulated PIM
+platform, the graph partitioner and node migrator, per-module local
+graph storage, the host's heterogeneous storage for high-degree nodes,
+and the query/update processors — behind a small public API:
+
+.. code-block:: python
+
+    from repro import Moctopus, MoctopusConfig
+    from repro.graph import load_dataset
+
+    graph = load_dataset("web-Google")
+    system = Moctopus.from_graph(graph)
+
+    result, stats = system.batch_khop(sources=[0, 1, 2], hops=2)
+    print(result.destinations_of(0), stats.total_time_ms)
+
+    insert_stats = system.insert_edges([(10, 42), (42, 99)])
+    delete_stats = system.delete_edges([(10, 42)])
+
+Every call that touches the simulated hardware returns an
+:class:`~repro.pim.stats.ExecutionStats` with the host/CPC/IPC/PIM time
+breakdown; the benchmark harness feeds those straight into the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import MoctopusConfig
+from repro.core.hetero_storage import HeterogeneousGraphStorage
+from repro.core.local_storage import LocalGraphStorage
+from repro.core.node_migrator import NodeMigrator
+from repro.core.operator_processor import OperatorProcessor
+from repro.core.partitioner import GraphPartitioner
+from repro.core.query_processor import QueryProcessor
+from repro.core.update_processor import UpdateProcessor
+from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+from repro.graph.stream import UpdateOp
+from repro.partition.base import HOST_PARTITION
+from repro.partition.metrics import PartitionQuality, evaluate_partition
+from repro.pim.stats import ExecutionStats
+from repro.pim.system import PIMSystem
+from repro.rpq.query import BatchResult, KHopQuery, RPQuery
+
+
+class Moctopus:
+    """PIM-based data management system for batch RPQs and graph updates."""
+
+    def __init__(
+        self,
+        config: Optional[MoctopusConfig] = None,
+        label_names: Optional[Dict[int, str]] = None,
+    ) -> None:
+        self.config = config or MoctopusConfig()
+        self.pim = PIMSystem(self.config.cost_model)
+        self._partitioner = GraphPartitioner(self.config)
+        self._module_storages = [
+            LocalGraphStorage(memory=module.memory) for module in self.pim.modules
+        ]
+        self._host_storage = HeterogeneousGraphStorage(self.config.num_modules)
+        self._processors = [
+            OperatorProcessor(
+                module_id,
+                storage,
+                misplacement_threshold=self.config.misplacement_threshold,
+            )
+            for module_id, storage in enumerate(self._module_storages)
+        ]
+        #: Mirror of the stored graph, used for partition-quality metrics,
+        #: reference checks and source sampling in benchmarks.
+        self._mirror = DiGraph()
+        self._migrator = NodeMigrator(
+            self._partitioner,
+            self._module_storages,
+            self._host_storage,
+            capacity_factor=self.config.migration_capacity_factor,
+        )
+        self._query_processor = QueryProcessor(
+            self.config,
+            self.pim,
+            self._partitioner,
+            self._module_storages,
+            self._host_storage,
+            self._processors,
+            self._migrator,
+            label_names=label_names,
+        )
+        self._update_processor = UpdateProcessor(
+            self.config,
+            self.pim,
+            self._partitioner,
+            self._module_storages,
+            self._host_storage,
+            self._processors,
+            self._migrator,
+            self._mirror,
+        )
+        #: Stats of the most recent post-query maintenance pass (migrations).
+        self.last_maintenance_stats: Optional[ExecutionStats] = None
+
+    # ------------------------------------------------------------------
+    # Construction / loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DiGraph,
+        config: Optional[MoctopusConfig] = None,
+        label_names: Optional[Dict[int, str]] = None,
+    ) -> "Moctopus":
+        """Build a system and bulk-load ``graph`` into it."""
+        system = cls(config=config, label_names=label_names)
+        system.load_graph(graph)
+        return system
+
+    def load_graph(self, graph: DiGraph) -> None:
+        """Bulk-load a graph (no simulated cost; loading is offline).
+
+        Edges are replayed in their insertion order so the radical greedy
+        partitioner sees the same stream a growing database would have
+        produced.
+        """
+        for src, dst, label in graph.labeled_edges():
+            self._ingest_edge(src, dst, label)
+        for node in graph.nodes():
+            if self._partitioner.partition_of(node) is None:
+                self._partitioner.assign_node(node)
+                self._mirror.add_node(node)
+                self._ensure_row(node)
+
+    def _ingest_edge(self, src: int, dst: int, label: int = DEFAULT_LABEL) -> None:
+        previous = self._partitioner.partition_of(src)
+        src_partition, dst_partition = self._partitioner.ingest_edge(src, dst)
+        if (
+            previous is not None
+            and previous != HOST_PARTITION
+            and src_partition == HOST_PARTITION
+        ):
+            # The labor-division wrapper just promoted this node.
+            self._migrator.promote_to_host(src, previous)
+        self._mirror.add_edge(src, dst, label)
+        self._ensure_row(dst, dst_partition)
+        if src_partition == HOST_PARTITION:
+            self._host_storage.insert_edge(src, dst, label)
+        else:
+            self._module_storages[src_partition].add_edge(src, dst, label)
+
+    def _ensure_row(self, node: int, partition: Optional[int] = None) -> None:
+        partition = (
+            partition
+            if partition is not None
+            else self._partitioner.partition_of(node)
+        )
+        if partition is None:
+            return
+        if partition == HOST_PARTITION:
+            self._host_storage.ensure_row(node)
+        else:
+            self._module_storages[partition].ensure_row(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def batch_khop(
+        self, sources: Iterable[int], hops: int, auto_migrate: Optional[bool] = None
+    ) -> Tuple[BatchResult, ExecutionStats]:
+        """Run a batch k-hop path query (the paper's RPQ workload)."""
+        query = KHopQuery(hops=hops, sources=list(sources))
+        result, stats = self._query_processor.execute_khop(query)
+        self._maybe_migrate(auto_migrate)
+        return result, stats
+
+    def execute(
+        self, query, auto_migrate: Optional[bool] = None
+    ) -> Tuple[BatchResult, ExecutionStats]:
+        """Run a :class:`KHopQuery` or a general :class:`RPQuery`."""
+        if isinstance(query, KHopQuery):
+            result, stats = self._query_processor.execute_khop(query)
+        elif isinstance(query, RPQuery):
+            result, stats = self._query_processor.execute_rpq(query)
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+        self._maybe_migrate(auto_migrate)
+        return result, stats
+
+    def _maybe_migrate(self, auto_migrate: Optional[bool]) -> None:
+        enabled = self.config.enable_migration if auto_migrate is None else auto_migrate
+        if not enabled:
+            return
+        self.run_maintenance()
+
+    def run_maintenance(self) -> Tuple[int, ExecutionStats]:
+        """Migrate nodes reported as incorrectly partitioned.
+
+        Returns the number of nodes moved and the simulated cost of the
+        pass (charged to a separate operation, off the query critical
+        path, as in the paper).
+        """
+        operation = self.pim.begin_operation()
+        with operation.phase("migration"):
+            moved = self._migrator.apply_migrations(
+                op=operation, limit=self.config.max_migrations_per_query
+            )
+        stats = operation.finish()
+        stats.add_counter("migrations", moved)
+        self.last_maintenance_stats = stats
+        return moved, stats
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edges(
+        self, edges: List[Tuple[int, int]], labels: Optional[List[int]] = None
+    ) -> ExecutionStats:
+        """Insert a batch of edges and return the simulated cost."""
+        return self._update_processor.insert_edges(edges, labels=labels)
+
+    def delete_edges(self, edges: List[Tuple[int, int]]) -> ExecutionStats:
+        """Delete a batch of edges and return the simulated cost."""
+        return self._update_processor.delete_edges(edges)
+
+    def apply_updates(self, ops: List[UpdateOp]) -> ExecutionStats:
+        """Apply a mixed stream of :class:`~repro.graph.stream.UpdateOp`."""
+        return self._update_processor.apply_batch(ops)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The mirror of the currently stored graph (read-only by convention)."""
+        return self._mirror
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of stored graph nodes."""
+        return self._mirror.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored edges."""
+        return self._mirror.num_edges
+
+    @property
+    def num_modules(self) -> int:
+        """Number of PIM modules in the simulated platform."""
+        return self.pim.num_modules
+
+    def partition_of(self, node: int) -> Optional[int]:
+        """Partition of ``node`` (``-1`` = host)."""
+        return self._partitioner.partition_of(node)
+
+    def host_node_count(self) -> int:
+        """Number of (high-degree) nodes resident on the host."""
+        return self._partitioner.partition_map.host_size()
+
+    def module_node_counts(self) -> List[int]:
+        """Number of nodes stored on each PIM module."""
+        return [storage.num_rows for storage in self._module_storages]
+
+    def partition_quality(self) -> PartitionQuality:
+        """Edge cut / locality / balance of the current placement."""
+        return evaluate_partition(self._mirror, self._partitioner.partition_map)
+
+    def partition_statistics(self) -> Dict[str, int]:
+        """Partitioner decision counters (greedy vs fallback vs promotions)."""
+        return {
+            "greedy_placements": self._partitioner.greedy_placements(),
+            "fallback_placements": self._partitioner.fallback_placements(),
+            "promotions": self._partitioner.promotions(),
+            "locality_migrations": self._migrator.migrations_performed,
+        }
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether the stored graph contains ``src -> dst``."""
+        return self._mirror.has_edge(src, dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Moctopus(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"modules={self.num_modules})"
+        )

@@ -1,0 +1,265 @@
+"""The update path: batch edge insertions and deletions.
+
+Graph updates are abstracted into ``add`` and ``sub`` operators and
+dispatched to PIM modules map-reduce style (paper Section 3.1).  Unlike
+path matching, updates need no inter-PIM communication and no reduction
+stage, so they can saturate the parallel intra-PIM bandwidth — which is
+why the paper reports the largest speedups (30x insert, 52.6x delete on
+average) for this workload.
+
+Execution of one batch:
+
+1. **partition** (host) — for every update the host consults (and, for
+   brand-new nodes, extends) the ``node_partition_vector``; updates whose
+   source row lives on a PIM module are grouped into per-module ``add``/
+   ``sub`` operators, updates on host-resident high-degree rows take the
+   heterogeneous-storage protocol.
+2. **dispatch** (CPC) — operators travel to their modules in one batch
+   transfer per module.
+3. **apply** (PIM, parallel) — each module applies its operator against
+   its local hash-map segment.  High-degree updates run their PIM-side
+   index lookups on the module sharding that row's maps, and the host
+   performs the single positional write into ``cols_vector``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import MoctopusConfig
+from repro.core.hetero_storage import HeterogeneousGraphStorage
+from repro.core.local_storage import LocalGraphStorage
+from repro.core.node_migrator import NodeMigrator
+from repro.core.operator_processor import OperatorProcessor
+from repro.core.operators import BYTES_PER_UPDATE_ITEM, OPERATOR_HEADER_BYTES
+from repro.core.partitioner import GraphPartitioner
+from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+from repro.graph.stream import UpdateKind, UpdateOp
+from repro.partition.base import HOST_PARTITION
+from repro.pim.stats import ExecutionStats
+from repro.pim.system import OperationContext, PIMSystem
+
+
+class UpdateProcessor:
+    """Executes batches of edge insertions/deletions on the simulated system."""
+
+    def __init__(
+        self,
+        config: MoctopusConfig,
+        pim_system: PIMSystem,
+        partitioner: GraphPartitioner,
+        module_storages: List[LocalGraphStorage],
+        host_storage: HeterogeneousGraphStorage,
+        operator_processors: List[OperatorProcessor],
+        node_migrator: NodeMigrator,
+        mirror_graph: DiGraph,
+    ) -> None:
+        self._config = config
+        self._pim = pim_system
+        self._partitioner = partitioner
+        self._module_storages = module_storages
+        self._host_storage = host_storage
+        self._processors = operator_processors
+        self._migrator = node_migrator
+        self._mirror = mirror_graph
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def insert_edges(
+        self, edges: List[Tuple[int, int]], labels: Optional[List[int]] = None
+    ) -> ExecutionStats:
+        """Insert a batch of edges; returns the simulated cost."""
+        ops = [
+            UpdateOp(UpdateKind.INSERT, src, dst) for src, dst in edges
+        ]
+        return self.apply_batch(ops, labels=labels)
+
+    def delete_edges(self, edges: List[Tuple[int, int]]) -> ExecutionStats:
+        """Delete a batch of edges; returns the simulated cost."""
+        ops = [UpdateOp(UpdateKind.DELETE, src, dst) for src, dst in edges]
+        return self.apply_batch(ops)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self, ops: List[UpdateOp], labels: Optional[List[int]] = None
+    ) -> ExecutionStats:
+        """Apply a mixed batch of updates following the paper's flow."""
+        operation = self._pim.begin_operation()
+
+        module_adds: Dict[int, List[Tuple[int, int, int]]] = {}
+        module_subs: Dict[int, List[Tuple[int, int]]] = {}
+        hetero_ops: List[Tuple[UpdateOp, int]] = []
+
+        with operation.phase("partition"):
+            for index, update in enumerate(ops):
+                label = labels[index] if labels else DEFAULT_LABEL
+                operation.host.process_items(1)
+                owner, promoted_from = self._place_for_update(update, operation)
+                if promoted_from is not None:
+                    # The source was promoted to the host while this batch was
+                    # being partitioned: updates already queued for its old
+                    # module must follow it, or they would be applied to a row
+                    # that no longer lives there.
+                    self._requeue_promoted_source(
+                        update.src, promoted_from, module_adds, module_subs,
+                        hetero_ops,
+                    )
+                if owner == HOST_PARTITION:
+                    hetero_ops.append((update, label))
+                elif update.kind is UpdateKind.INSERT:
+                    module_adds.setdefault(owner, []).append(
+                        (update.src, update.dst, label)
+                    )
+                else:
+                    module_subs.setdefault(owner, []).append((update.src, update.dst))
+
+        with operation.phase("dispatch"):
+            dispatched_items = sum(len(edges) for edges in module_adds.values())
+            dispatched_items += sum(len(edges) for edges in module_subs.values())
+            if dispatched_items:
+                # All per-module add/sub operators ship in one rank-level
+                # batched scatter.
+                operation.cpc_transfer(
+                    OPERATOR_HEADER_BYTES + dispatched_items * BYTES_PER_UPDATE_ITEM,
+                    num_transfers=1,
+                )
+
+        with operation.phase("apply"):
+            self._apply_module_updates(operation, module_adds, module_subs)
+            self._apply_hetero_updates(operation, hetero_ops)
+
+        stats = operation.finish()
+        stats.add_counter("updates", len(ops))
+        return stats
+
+    # ------------------------------------------------------------------
+    # Placement of update targets
+    # ------------------------------------------------------------------
+    def _place_for_update(
+        self, update: UpdateOp, operation: OperationContext
+    ) -> Tuple[int, Optional[int]]:
+        """Owner of the update's source row, plus the module it was promoted from.
+
+        Returns ``(owner_partition, promoted_from)`` where ``promoted_from``
+        is the PIM module the source just left (``None`` when no promotion
+        happened during this placement).
+        """
+        src, dst = update.src, update.dst
+        if update.kind is UpdateKind.INSERT:
+            previous = self._partitioner.partition_of(src)
+            src_partition, _ = self._partitioner.ingest_edge(src, dst)
+            promoted_from: Optional[int] = None
+            # The labor-division wrapper may have just promoted the source
+            # because this edge pushed it over the threshold.
+            if (
+                previous is not None
+                and previous != HOST_PARTITION
+                and src_partition == HOST_PARTITION
+            ):
+                self._migrator.promote_to_host(src, previous, op=operation)
+                promoted_from = previous
+            # Consulting (and possibly extending) the partition vector is a
+            # host-side access per endpoint; the vector is one small entry
+            # per node (the paper's node_partition_vector), so it stays
+            # cache-resident just as it does on the real platform.
+            operation.host.random_accesses(2, working_set_bytes=len(self._mirror) * 2)
+            return src_partition, promoted_from
+        owner = self._partitioner.partition_of(src)
+        operation.host.random_accesses(1, working_set_bytes=len(self._mirror) * 2)
+        if owner is None:
+            # Deleting an edge of an unknown node: treat as a host no-op.
+            return HOST_PARTITION, None
+        return owner, None
+
+    def _requeue_promoted_source(
+        self,
+        src: int,
+        promoted_from: int,
+        module_adds: Dict[int, List[Tuple[int, int, int]]],
+        module_subs: Dict[int, List[Tuple[int, int]]],
+        hetero_ops: List[Tuple[UpdateOp, int]],
+    ) -> None:
+        """Move queued updates of a just-promoted source to the hetero path."""
+        pending_adds = module_adds.get(promoted_from, [])
+        kept_adds = []
+        for edge_src, edge_dst, edge_label in pending_adds:
+            if edge_src == src:
+                hetero_ops.append(
+                    (UpdateOp(UpdateKind.INSERT, edge_src, edge_dst), edge_label)
+                )
+            else:
+                kept_adds.append((edge_src, edge_dst, edge_label))
+        if pending_adds:
+            module_adds[promoted_from] = kept_adds
+        pending_subs = module_subs.get(promoted_from, [])
+        kept_subs = []
+        for edge_src, edge_dst in pending_subs:
+            if edge_src == src:
+                hetero_ops.append(
+                    (UpdateOp(UpdateKind.DELETE, edge_src, edge_dst), DEFAULT_LABEL)
+                )
+            else:
+                kept_subs.append((edge_src, edge_dst))
+        if pending_subs:
+            module_subs[promoted_from] = kept_subs
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def _apply_module_updates(
+        self,
+        operation: OperationContext,
+        module_adds: Dict[int, List[Tuple[int, int, int]]],
+        module_subs: Dict[int, List[Tuple[int, int]]],
+    ) -> None:
+        for module_id, add_edges in module_adds.items():
+            module = operation.module(module_id)
+            module.launch_kernel()
+            work = self._processors[module_id].process_add(add_edges)
+            module.random_accesses(work.map_lookups)
+            module.stream_bytes(work.bytes_streamed)
+            module.process_items(work.items_processed)
+            for src, dst, label in add_edges:
+                self._mirror.add_edge(src, dst, label)
+        for module_id, sub_edges in module_subs.items():
+            module = operation.module(module_id)
+            module.launch_kernel()
+            work = self._processors[module_id].process_sub(sub_edges)
+            module.random_accesses(work.map_lookups)
+            module.stream_bytes(work.bytes_streamed)
+            module.process_items(work.items_processed)
+            for src, dst in sub_edges:
+                self._mirror.remove_edge(src, dst)
+
+    def _apply_hetero_updates(
+        self,
+        operation: OperationContext,
+        hetero_ops: List[Tuple[UpdateOp, int]],
+    ) -> None:
+        if hetero_ops:
+            # The heterogeneous-storage protocol exchanges (edge, position)
+            # records with the PIM-side index maps; the whole batch moves in
+            # one scatter/gather pair, so only the byte volume is per-edge.
+            operation.cpc_transfer(
+                2 * len(hetero_ops) * BYTES_PER_UPDATE_ITEM, num_transfers=2
+            )
+        for update, label in hetero_ops:
+            index_module = operation.module(
+                self._host_storage.index_module_of(update.src)
+            )
+            if update.kind is UpdateKind.INSERT:
+                outcome = self._host_storage.insert_edge(update.src, update.dst, label)
+                self._mirror.add_edge(update.src, update.dst, label)
+            else:
+                outcome = self._host_storage.delete_edge(update.src, update.dst)
+                self._mirror.remove_edge(update.src, update.dst)
+            # PIM side: index-map lookups and free-slot management.
+            index_module.random_accesses(outcome.pim_map_lookups)
+            index_module.process_items(outcome.pim_map_lookups)
+            # Host side: the single positional write (plus any growth copy).
+            operation.host.process_items(outcome.host_writes)
+            if outcome.host_streamed_bytes:
+                operation.host.stream_bytes(outcome.host_streamed_bytes)

@@ -1,0 +1,118 @@
+"""Compressed sparse row (CSR) adjacency.
+
+RedisGraph stores its adjacency matrices in SuiteSparse:GraphBLAS
+compressed formats; the baseline engine in this reproduction mirrors
+that with an immutable CSR built from a :class:`DiGraph`.  CSR gives the
+baseline its realistic cost profile: row offsets and column indices live
+in contiguous arrays, so scanning one row is sequential, but following a
+path hops between unrelated rows — the random-access pattern the paper's
+"memory wall" argument is about.
+
+The structure is also reused by partition-quality metrics, which need
+fast neighbor iteration over frozen graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+
+class CSRMatrix:
+    """Immutable CSR representation of a directed graph's adjacency."""
+
+    def __init__(self, indptr: Sequence[int], indices: Sequence[int]) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if len(self.indptr) == 0 or self.indptr[0] != 0:
+            raise ValueError("indptr must start with 0")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must end with len(indices)")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: DiGraph) -> "CSRMatrix":
+        """Freeze ``graph`` into CSR form.
+
+        Rows are indexed by node id; ids must therefore be reasonably
+        dense (the generators and datasets in this package guarantee
+        that).
+        """
+        num_rows = (max(graph.nodes()) + 1) if graph.num_nodes else 0
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        for row in range(num_rows):
+            successors = graph.successors(row) if graph.has_node(row) else []
+            indices.extend(sorted(successors))
+            indptr.append(len(indices))
+        return cls(indptr, indices)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]]) -> "CSRMatrix":
+        """Freeze an edge iterable into CSR form."""
+        return cls.from_graph(DiGraph.from_edges(edges))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (nodes)."""
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (edges)."""
+        return int(self.indptr[-1])
+
+    def row(self, row: int) -> np.ndarray:
+        """Column indices of ``row`` as a numpy view (sorted)."""
+        start, end = int(self.indptr[row]), int(self.indptr[row + 1])
+        return self.indices[start:end]
+
+    def row_length(self, row: int) -> int:
+        """Out-degree of ``row``."""
+        return int(self.indptr[row + 1] - self.indptr[row])
+
+    def has_entry(self, row: int, col: int) -> bool:
+        """Whether edge ``row -> col`` is present (binary search)."""
+        row_cols = self.row(row)
+        position = int(np.searchsorted(row_cols, col))
+        return position < len(row_cols) and int(row_cols[position]) == col
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------------
+    # Frontier expansion (the baseline's hot loop)
+    # ------------------------------------------------------------------
+    def expand_frontier(self, frontier: Iterable[int]) -> Tuple[np.ndarray, int]:
+        """Union of next hops of ``frontier`` plus the number of rows gathered.
+
+        Returns
+        -------
+        (destinations, rows_touched):
+            ``destinations`` is a sorted, deduplicated numpy array of next
+            hops; ``rows_touched`` counts how many adjacency rows were
+            fetched, which the host cost model uses to charge random DRAM
+            accesses.
+        """
+        gathered: List[np.ndarray] = []
+        rows_touched = 0
+        for node in frontier:
+            if 0 <= node < self.num_rows:
+                row_cols = self.row(node)
+                rows_touched += 1
+                if len(row_cols):
+                    gathered.append(row_cols)
+        if not gathered:
+            return np.empty(0, dtype=np.int64), rows_touched
+        return np.unique(np.concatenate(gathered)), rows_touched

@@ -1,0 +1,378 @@
+"""Sparse matrices for matrix-based graph operations.
+
+Two representations are provided:
+
+* :class:`BooleanMatrix` — a row-major dictionary-of-sets sparse boolean
+  matrix.  This is the shape Moctopus uses: the adjacency matrix is
+  partitioned *by row* across computing nodes, and each row is the
+  next-hop set of a graph node.  The batch query matrix ``Q`` (one row
+  per query, one column per source node) and the answer matrix ``ans``
+  have the same shape.
+* :class:`SemiringMatrix` — a general dictionary-of-dictionaries sparse
+  matrix parameterised by a :class:`~repro.graph.semiring.Semiring`,
+  used by the reference evaluator and by the path-counting analysis.
+
+Both implement ``mxm`` (matrix-matrix multiply) with row-gather
+semantics: the product ``C = A x B`` gathers, for every stored entry
+``A[i, k]``, the row ``B[k, :]`` and accumulates it into ``C[i, :]``.
+That access pattern — one random row fetch per frontier entry — is
+exactly the pointer chasing the paper identifies as the memory-wall
+bottleneck, and it is what the PIM cost model charges for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.graph.semiring import BOOLEAN, COUNTING, Semiring
+
+
+class BooleanMatrix:
+    """Row-major sparse boolean matrix (dictionary of column-id sets)."""
+
+    def __init__(self, num_rows: int = 0, num_cols: int = 0) -> None:
+        self._rows: Dict[int, Set[int]] = {}
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: DiGraph) -> "BooleanMatrix":
+        """Adjacency matrix of ``graph`` (rows = sources, cols = destinations)."""
+        dimension = (max(graph.nodes()) + 1) if graph.num_nodes else 0
+        matrix = cls(num_rows=dimension, num_cols=dimension)
+        for src in graph.nodes():
+            successors = graph.successors(src)
+            if successors:
+                matrix._rows[src] = set(successors)
+        return matrix
+
+    @classmethod
+    def from_entries(
+        cls, entries: Iterable[Tuple[int, int]], num_rows: int = 0, num_cols: int = 0
+    ) -> "BooleanMatrix":
+        """Build a matrix from ``(row, col)`` pairs."""
+        matrix = cls(num_rows=num_rows, num_cols=num_cols)
+        for row, col in entries:
+            matrix.set(row, col)
+        return matrix
+
+    @classmethod
+    def batch_query_matrix(
+        cls, sources: Iterable[int], num_cols: int
+    ) -> "BooleanMatrix":
+        """The query matrix ``Q`` of a batch of single-source queries.
+
+        Row ``i`` identifies query ``i`` in the batch; the single set
+        column in row ``i`` is that query's source node, matching the
+        paper's Figure 2.
+        """
+        matrix = cls(num_rows=0, num_cols=num_cols)
+        for row, source in enumerate(sources):
+            matrix.set(row, source)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    def set(self, row: int, col: int) -> None:
+        """Set entry ``(row, col)`` to true."""
+        self._rows.setdefault(row, set()).add(col)
+        if row + 1 > self.num_rows:
+            self.num_rows = row + 1
+        if col + 1 > self.num_cols:
+            self.num_cols = col + 1
+
+    def clear(self, row: int, col: int) -> None:
+        """Set entry ``(row, col)`` to false (no-op when already false)."""
+        cols = self._rows.get(row)
+        if cols is None:
+            return
+        cols.discard(col)
+        if not cols:
+            del self._rows[row]
+
+    def get(self, row: int, col: int) -> bool:
+        """Return entry ``(row, col)``."""
+        cols = self._rows.get(row)
+        return cols is not None and col in cols
+
+    def row(self, row: int) -> Set[int]:
+        """Set columns of ``row`` (empty set if the row is empty).
+
+        The returned set is a copy; mutating it does not change the
+        matrix.
+        """
+        return set(self._rows.get(row, ()))
+
+    def set_row(self, row: int, cols: Iterable[int]) -> None:
+        """Replace the contents of ``row`` with ``cols``."""
+        cols_set = set(cols)
+        if cols_set:
+            self._rows[row] = cols_set
+            if row + 1 > self.num_rows:
+                self.num_rows = row + 1
+            max_col = max(cols_set)
+            if max_col + 1 > self.num_cols:
+                self.num_cols = max_col + 1
+        else:
+            self._rows.pop(row, None)
+
+    def iter_rows(self) -> Iterator[Tuple[int, Set[int]]]:
+        """Iterate over ``(row_id, column_set)`` for non-empty rows."""
+        for row, cols in self._rows.items():
+            yield row, cols
+
+    def nonzero_rows(self) -> List[int]:
+        """Row ids that have at least one entry."""
+        return list(self._rows)
+
+    def entries(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all ``(row, col)`` stored entries."""
+        for row, cols in self._rows.items():
+            for col in cols:
+                yield row, col
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (true) entries."""
+        return sum(len(cols) for cols in self._rows.values())
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def mxm(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """Boolean sparse matrix product ``self x other`` (row-gather)."""
+        product = BooleanMatrix(num_rows=self.num_rows, num_cols=other.num_cols)
+        for row, cols in self._rows.items():
+            accumulator: Set[int] = set()
+            for col in cols:
+                other_row = other._rows.get(col)
+                if other_row:
+                    accumulator |= other_row
+            if accumulator:
+                product._rows[row] = accumulator
+        return product
+
+    def element_wise_or(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """Element-wise union (used to accumulate reachability over hops)."""
+        result = BooleanMatrix(
+            num_rows=max(self.num_rows, other.num_rows),
+            num_cols=max(self.num_cols, other.num_cols),
+        )
+        for row, cols in self._rows.items():
+            result._rows[row] = set(cols)
+        for row, cols in other._rows.items():
+            result._rows.setdefault(row, set()).update(cols)
+        return result
+
+    def transpose(self) -> "BooleanMatrix":
+        """Return the transposed matrix."""
+        transposed = BooleanMatrix(num_rows=self.num_cols, num_cols=self.num_rows)
+        for row, cols in self._rows.items():
+            for col in cols:
+                transposed.set(col, row)
+        return transposed
+
+    def equals(self, other: "BooleanMatrix") -> bool:
+        """Structural equality of stored entries (shape metadata ignored)."""
+        mine = {row: cols for row, cols in self._rows.items() if cols}
+        theirs = {row: cols for row, cols in other._rows.items() if cols}
+        return mine == theirs
+
+    def copy(self) -> "BooleanMatrix":
+        """Deep copy."""
+        clone = BooleanMatrix(num_rows=self.num_rows, num_cols=self.num_cols)
+        for row, cols in self._rows.items():
+            clone._rows[row] = set(cols)
+        return clone
+
+    def to_dense(self) -> List[List[int]]:
+        """Dense 0/1 list-of-lists (testing/debugging aid for small matrices)."""
+        dense = [[0] * self.num_cols for _ in range(self.num_rows)]
+        for row, cols in self._rows.items():
+            for col in cols:
+                dense[row][col] = 1
+        return dense
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanMatrix):
+            return NotImplemented
+        return self.equals(other)
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("BooleanMatrix is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BooleanMatrix(shape=({self.num_rows}, {self.num_cols}), "
+            f"nnz={self.nnz})"
+        )
+
+
+class SemiringMatrix:
+    """General sparse matrix over an arbitrary semiring.
+
+    Stored as a dictionary of dictionaries: ``values[row][col] -> value``.
+    Used by the reference evaluator (counting matched paths) and by tests
+    that cross-check the boolean fast path.
+    """
+
+    def __init__(
+        self,
+        num_rows: int = 0,
+        num_cols: int = 0,
+        semiring: Semiring = BOOLEAN,
+    ) -> None:
+        self._values: Dict[int, Dict[int, object]] = {}
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self.semiring = semiring
+
+    @classmethod
+    def from_graph(
+        cls, graph: DiGraph, semiring: Semiring = COUNTING
+    ) -> "SemiringMatrix":
+        """Adjacency matrix of ``graph`` with every edge weighted ``one``."""
+        dimension = (max(graph.nodes()) + 1) if graph.num_nodes else 0
+        matrix = cls(num_rows=dimension, num_cols=dimension, semiring=semiring)
+        for src in graph.nodes():
+            for dst in graph.successors(src):
+                matrix.set(src, dst, semiring.one)
+        return matrix
+
+    @classmethod
+    def from_boolean(
+        cls, matrix: BooleanMatrix, semiring: Semiring = COUNTING
+    ) -> "SemiringMatrix":
+        """Lift a boolean matrix into ``semiring`` (true entries become ``one``)."""
+        lifted = cls(
+            num_rows=matrix.num_rows, num_cols=matrix.num_cols, semiring=semiring
+        )
+        for row, col in matrix.entries():
+            lifted.set(row, col, semiring.one)
+        return lifted
+
+    def set(self, row: int, col: int, value: object) -> None:
+        """Assign ``value`` to entry ``(row, col)`` (zero values are dropped)."""
+        if self.semiring.is_zero(value):
+            row_values = self._values.get(row)
+            if row_values is not None:
+                row_values.pop(col, None)
+                if not row_values:
+                    del self._values[row]
+            return
+        self._values.setdefault(row, {})[col] = value
+        if row + 1 > self.num_rows:
+            self.num_rows = row + 1
+        if col + 1 > self.num_cols:
+            self.num_cols = col + 1
+
+    def get(self, row: int, col: int) -> object:
+        """Entry ``(row, col)`` (the semiring zero when not stored)."""
+        return self._values.get(row, {}).get(col, self.semiring.zero)
+
+    def row(self, row: int) -> Dict[int, object]:
+        """Copy of the stored entries of ``row``."""
+        return dict(self._values.get(row, {}))
+
+    def iter_rows(self) -> Iterator[Tuple[int, Dict[int, object]]]:
+        """Iterate over non-empty rows."""
+        for row, values in self._values.items():
+            yield row, values
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return sum(len(values) for values in self._values.values())
+
+    def mxm(self, other: "SemiringMatrix") -> "SemiringMatrix":
+        """Semiring matrix product ``self x other``."""
+        if self.semiring is not other.semiring:
+            raise ValueError(
+                "cannot multiply matrices over different semirings: "
+                f"{self.semiring.name} vs {other.semiring.name}"
+            )
+        semiring = self.semiring
+        product = SemiringMatrix(
+            num_rows=self.num_rows, num_cols=other.num_cols, semiring=semiring
+        )
+        for row, row_values in self._values.items():
+            accumulator: Dict[int, object] = {}
+            for mid, left_value in row_values.items():
+                other_row = other._values.get(mid)
+                if not other_row:
+                    continue
+                for col, right_value in other_row.items():
+                    contribution = semiring.multiply(left_value, right_value)
+                    if col in accumulator:
+                        accumulator[col] = semiring.add(
+                            accumulator[col], contribution
+                        )
+                    else:
+                        accumulator[col] = contribution
+            for col, value in accumulator.items():
+                if not semiring.is_zero(value):
+                    product._values.setdefault(row, {})[col] = value
+        return product
+
+    def to_boolean(self) -> BooleanMatrix:
+        """Structural (non-zero pattern) projection to a boolean matrix."""
+        pattern = BooleanMatrix(num_rows=self.num_rows, num_cols=self.num_cols)
+        for row, values in self._values.items():
+            for col in values:
+                pattern.set(row, col)
+        return pattern
+
+    def total(self) -> object:
+        """Semiring sum of every stored entry (e.g. total matched paths)."""
+        result = self.semiring.zero
+        for values in self._values.values():
+            for value in values.values():
+                result = self.semiring.add(result, value)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SemiringMatrix(shape=({self.num_rows}, {self.num_cols}), "
+            f"nnz={self.nnz}, semiring={self.semiring.name!r})"
+        )
+
+
+def khop_reachability(
+    adjacency: BooleanMatrix,
+    sources: Iterable[int],
+    hops: int,
+    accumulate: bool = False,
+) -> BooleanMatrix:
+    """Reference k-hop evaluation: ``Q x Adj x ... x Adj`` (``hops`` times).
+
+    Parameters
+    ----------
+    adjacency:
+        The graph's adjacency matrix.
+    sources:
+        Source node per query; row ``i`` of the result corresponds to the
+        ``i``-th source.
+    hops:
+        Number of adjacency multiplications (``k`` in the paper).
+    accumulate:
+        When true, the result is the union of destinations reachable in
+        1..k hops rather than exactly k hops.  The paper's k-hop query
+        uses exact-k semantics; the accumulating variant supports
+        RPQ expressions with bounded repetition such as ``a{1,3}``.
+    """
+    frontier = BooleanMatrix.batch_query_matrix(sources, adjacency.num_cols)
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    accumulated = BooleanMatrix(
+        num_rows=frontier.num_rows, num_cols=adjacency.num_cols
+    )
+    for _ in range(hops):
+        frontier = frontier.mxm(adjacency)
+        if accumulate:
+            accumulated = accumulated.element_wise_or(frontier)
+    return accumulated if accumulate else frontier

@@ -1,0 +1,199 @@
+"""Property graph model.
+
+Graph databases use the property graph model (Angles 2018): nodes and
+directed edges carry a label plus arbitrary property/value pairs.  The
+paper strips non-essential features for path matching and works on the
+adjacency structure only; this module keeps the full model so that the
+examples (e.g. the routing-connection graph of the paper's Figure 2) can
+be expressed naturally, and exposes a cheap projection to
+:class:`~repro.graph.digraph.DiGraph` for the query engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+
+
+@dataclass
+class NodeRecord:
+    """A node of a property graph.
+
+    Attributes
+    ----------
+    node_id:
+        Integer identifier, unique within the graph.
+    label:
+        Node label (entity type), e.g. ``"Router"`` or ``"Person"``.
+    properties:
+        Arbitrary property/value pairs, e.g. ``{"ip": "127.0.0.2"}``.
+    """
+
+    node_id: int
+    label: str = ""
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class EdgeRecord:
+    """A directed edge of a property graph."""
+
+    src: int
+    dst: int
+    label: str = ""
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+
+class PropertyGraph:
+    """A labeled property graph with projection to the matching substrate.
+
+    The class maintains both the rich records (labels, properties) and a
+    plain :class:`DiGraph` adjacency used for path matching.  Edge labels
+    are interned to small integers so that the RPQ automaton can match on
+    them cheaply; the mapping is exposed via :meth:`edge_label_id` and
+    :meth:`edge_label_name`.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, NodeRecord] = {}
+        self._edges: Dict[Tuple[int, int], EdgeRecord] = {}
+        self._adjacency = DiGraph()
+        self._label_ids: Dict[str, int] = {"": DEFAULT_LABEL}
+        self._label_names: Dict[int, str] = {DEFAULT_LABEL: ""}
+
+    # ------------------------------------------------------------------
+    # Label interning
+    # ------------------------------------------------------------------
+    def edge_label_id(self, label: str) -> int:
+        """Return (allocating if needed) the integer id for ``label``."""
+        if label not in self._label_ids:
+            label_id = len(self._label_ids)
+            self._label_ids[label] = label_id
+            self._label_names[label_id] = label
+        return self._label_ids[label]
+
+    def edge_label_name(self, label_id: int) -> str:
+        """Return the string label for ``label_id``."""
+        return self._label_names[label_id]
+
+    @property
+    def edge_labels(self) -> List[str]:
+        """All edge label strings registered so far."""
+        return list(self._label_ids)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: int,
+        label: str = "",
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> NodeRecord:
+        """Add (or update) a node and return its record."""
+        record = self._nodes.get(node_id)
+        if record is None:
+            record = NodeRecord(node_id=node_id, label=label,
+                                properties=dict(properties or {}))
+            self._nodes[node_id] = record
+            self._adjacency.add_node(node_id)
+        else:
+            if label:
+                record.label = label
+            if properties:
+                record.properties.update(properties)
+        return record
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: str = "",
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> EdgeRecord:
+        """Add (or update) the directed edge ``src -> dst``."""
+        self.add_node(src)
+        self.add_node(dst)
+        record = EdgeRecord(src=src, dst=dst, label=label,
+                            properties=dict(properties or {}))
+        self._edges[(src, dst)] = record
+        self._adjacency.add_edge(src, dst, self.edge_label_id(label))
+        return record
+
+    def remove_edge(self, src: int, dst: int) -> bool:
+        """Remove edge ``src -> dst``; return ``True`` if it existed."""
+        existed = self._edges.pop((src, dst), None) is not None
+        self._adjacency.remove_edge(src, dst)
+        return existed
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> NodeRecord:
+        """Return the record of ``node_id`` (raises ``KeyError`` if absent)."""
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        """Return whether ``node_id`` exists."""
+        return node_id in self._nodes
+
+    def edge(self, src: int, dst: int) -> EdgeRecord:
+        """Return the record of edge ``src -> dst``."""
+        return self._edges[(src, dst)]
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Return whether edge ``src -> dst`` exists."""
+        return (src, dst) in self._edges
+
+    def nodes(self) -> Iterator[NodeRecord]:
+        """Iterate over node records."""
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[EdgeRecord]:
+        """Iterate over edge records."""
+        return iter(self._edges.values())
+
+    def find_nodes(self, **property_filters: Any) -> List[NodeRecord]:
+        """Return nodes whose properties match all ``property_filters``.
+
+        This supports the batch-query idiom of the paper's Figure 2
+        (``UNWIND [...] AS ipAddr MATCH ({ip: ipAddr})-[2]->(t)``): the
+        caller resolves property values to node ids, then issues a batch
+        k-hop query from those ids.
+        """
+        matches = []
+        for record in self._nodes.values():
+            if all(record.properties.get(key) == value
+                   for key, value in property_filters.items()):
+                matches.append(record)
+        return matches
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def adjacency(self) -> DiGraph:
+        """The underlying :class:`DiGraph` used for path matching.
+
+        The returned object is the live adjacency (not a copy); mutate the
+        property graph through :meth:`add_edge` / :meth:`remove_edge` to
+        keep the two views consistent.
+        """
+        return self._adjacency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PropertyGraph(num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )

@@ -1,0 +1,111 @@
+"""Semirings for GraphBLAS-style matrix operations.
+
+The GraphBLAS framework (Kepner et al. 2015) expresses graph algorithms
+as sparse matrix operations over a semiring ``(add, multiply, zero)``.
+RedisGraph — the paper's baseline — evaluates path queries this way, and
+Moctopus borrows the same matrix-based execution plan so that path
+matching maps naturally onto parallel PIM modules.
+
+Only a handful of semirings matter for path matching:
+
+* :data:`BOOLEAN` (logical OR / AND) — reachability, the paper's k-hop
+  query semantics where ``ans = Q x Adj x ... x Adj`` records which
+  destinations are reachable.
+* :data:`COUNTING` (plus / times) — number of distinct matched paths,
+  used by tests and by the evaluation to reason about result-set growth
+  (the paper observes that matched paths explode with k on non-road
+  graphs, which shifts the bottleneck to CPC and reduction).
+* :data:`MIN_PLUS` (min / plus) — shortest path length; included because
+  it is a one-line extension once the semiring abstraction exists and it
+  powers one of the example applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An algebraic semiring for sparse matrix products.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, used in plan explanations.
+    add:
+        Commutative, associative accumulation operator.
+    multiply:
+        Combination operator applied to pairs of matched entries.
+    zero:
+        Identity of ``add``; entries equal to ``zero`` are never stored.
+    one:
+        Identity of ``multiply``; used when expanding an unweighted edge.
+    """
+
+    name: str
+    add: Callable[[Any, Any], Any]
+    multiply: Callable[[Any, Any], Any]
+    zero: Any
+    one: Any
+
+    def is_zero(self, value: Any) -> bool:
+        """Return whether ``value`` is the additive identity."""
+        return value == self.zero
+
+
+def _logical_or(left: bool, right: bool) -> bool:
+    return bool(left or right)
+
+
+def _logical_and(left: bool, right: bool) -> bool:
+    return bool(left and right)
+
+
+#: Reachability semiring: entries are booleans, OR accumulates, AND combines.
+BOOLEAN = Semiring(
+    name="boolean",
+    add=_logical_or,
+    multiply=_logical_and,
+    zero=False,
+    one=True,
+)
+
+#: Path-counting semiring: entries count the number of matched paths.
+COUNTING = Semiring(
+    name="counting",
+    add=lambda left, right: left + right,
+    multiply=lambda left, right: left * right,
+    zero=0,
+    one=1,
+)
+
+#: Shortest-path semiring: entries are path lengths, min accumulates.
+MIN_PLUS = Semiring(
+    name="min_plus",
+    add=min,
+    multiply=lambda left, right: left + right,
+    zero=float("inf"),
+    one=0,
+)
+
+#: Registry used by plan serialisation and the CLI-style benchmark output.
+SEMIRINGS = {
+    semiring.name: semiring for semiring in (BOOLEAN, COUNTING, MIN_PLUS)
+}
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a semiring by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not one of the registered semirings.
+    """
+    if name not in SEMIRINGS:
+        raise KeyError(
+            f"unknown semiring {name!r}; available: {sorted(SEMIRINGS)}"
+        )
+    return SEMIRINGS[name]

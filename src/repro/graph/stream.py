@@ -1,0 +1,141 @@
+"""Update streams: dynamic-graph workloads for insertion and deletion.
+
+The paper's graph-update experiment (Figure 6) inserts 64 K randomly
+selected new edges and deletes 64 K randomly selected existing edges.
+:class:`UpdateStream` produces such batches deterministically, and
+:class:`EdgeStreamReplayer` replays an edge list as an insertion stream,
+which is how dynamic graph databases ingest data and how the radical
+greedy partitioner sees the graph (one edge at a time, first edge of a
+node decides its partition).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.graph.digraph import DiGraph
+
+Edge = Tuple[int, int]
+
+
+class UpdateKind(Enum):
+    """Type of a graph update operation."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """A single edge-level update."""
+
+    kind: UpdateKind
+    src: int
+    dst: int
+
+    @property
+    def edge(self) -> Edge:
+        """The ``(src, dst)`` pair the update refers to."""
+        return (self.src, self.dst)
+
+
+class UpdateStream:
+    """Deterministic generator of insertion/deletion batches for a graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph the updates apply to.  The stream never mutates it; it
+        only samples node ids and existing edges from it.
+    seed:
+        RNG seed for reproducible batches.
+    """
+
+    def __init__(self, graph: DiGraph, seed: int = 0) -> None:
+        self._graph = graph
+        self._rng = random.Random(seed)
+
+    def insertion_batch(self, count: int) -> List[UpdateOp]:
+        """``count`` insertions of edges that do not currently exist.
+
+        Endpoints are sampled uniformly from existing nodes; a small
+        fraction of brand-new node ids is mixed in so that the
+        partitioner's new-node path is exercised, as in a growing graph.
+        """
+        nodes = list(self._graph.nodes())
+        if not nodes:
+            raise ValueError("cannot build an insertion batch for an empty graph")
+        max_node = max(nodes)
+        batch: List[UpdateOp] = []
+        attempts = 0
+        while len(batch) < count and attempts < count * 20:
+            attempts += 1
+            if self._rng.random() < 0.05:
+                src = max_node + 1 + self._rng.randrange(count)
+            else:
+                src = nodes[self._rng.randrange(len(nodes))]
+            dst = nodes[self._rng.randrange(len(nodes))]
+            if src == dst or self._graph.has_edge(src, dst):
+                continue
+            batch.append(UpdateOp(UpdateKind.INSERT, src, dst))
+        return batch
+
+    def deletion_batch(self, count: int) -> List[UpdateOp]:
+        """``count`` deletions sampled uniformly from existing edges."""
+        edges = list(self._graph.edges())
+        if not edges:
+            return []
+        count = min(count, len(edges))
+        sample = self._rng.sample(edges, count)
+        return [UpdateOp(UpdateKind.DELETE, src, dst) for src, dst in sample]
+
+    def mixed_batch(self, count: int, insert_fraction: float = 0.5) -> List[UpdateOp]:
+        """A shuffled mix of insertions and deletions.
+
+        Parameters
+        ----------
+        count:
+            Total number of operations.
+        insert_fraction:
+            Fraction of the batch that are insertions.
+        """
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise ValueError("insert_fraction must be within [0, 1]")
+        num_inserts = int(count * insert_fraction)
+        ops = self.insertion_batch(num_inserts)
+        ops += self.deletion_batch(count - num_inserts)
+        self._rng.shuffle(ops)
+        return ops
+
+
+class EdgeStreamReplayer:
+    """Replay a static graph as a stream of edge insertions.
+
+    Streaming partitioners (LDG, radical greedy) make their decisions as
+    edges arrive; replaying a generated graph through this class is how
+    benchmarks and tests feed them.
+    """
+
+    def __init__(self, edges: Sequence[Edge], shuffle_seed: int = -1) -> None:
+        self._edges = list(edges)
+        if shuffle_seed >= 0:
+            random.Random(shuffle_seed).shuffle(self._edges)
+
+    @classmethod
+    def from_graph(cls, graph: DiGraph, shuffle_seed: int = -1) -> "EdgeStreamReplayer":
+        """Build a replayer from every edge of ``graph``."""
+        return cls(list(graph.edges()), shuffle_seed=shuffle_seed)
+
+    def __iter__(self) -> Iterator[UpdateOp]:
+        for src, dst in self._edges:
+            yield UpdateOp(UpdateKind.INSERT, src, dst)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> List[Edge]:
+        """The edges in replay order."""
+        return list(self._edges)

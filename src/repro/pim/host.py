@@ -1,0 +1,94 @@
+"""The host CPU model.
+
+The host side of the PIM platform is a conventional server CPU with a
+large last-level cache.  Engines charge three kinds of work to it:
+
+* sequential streaming (scanning a contiguous ``cols_vector`` of a
+  high-degree node, packing operator payloads for transfer),
+* dependent random accesses over a working set (pointer chasing through
+  adjacency rows — cheap while the working set fits the LLC, a DRAM
+  round-trip per access once it does not),
+* per-item instruction work (set insertions during reduction, plan
+  bookkeeping).
+
+The distinction between cache-resident and DRAM-resident random access
+is the crux of the paper's motivation, and it is what lets the
+RedisGraph baseline be competitive on small/cache-friendly inputs while
+losing on large pointer-chasing workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.cost_model import CostModel
+
+
+@dataclass
+class _HostPhaseCounters:
+    sequential_bytes: int = 0
+    random_accesses: int = 0
+    random_working_set_bytes: int = 0
+    items_processed: int = 0
+
+
+class HostCPU:
+    """The host processor of the simulated PIM platform."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+        self._phase = _HostPhaseCounters()
+        #: Lifetime counters for diagnostics.
+        self.lifetime_sequential_bytes = 0
+        self.lifetime_random_accesses = 0
+        self.lifetime_items_processed = 0
+
+    # ------------------------------------------------------------------
+    # Charging work
+    # ------------------------------------------------------------------
+    def stream_bytes(self, num_bytes: int) -> None:
+        """Charge a sequential DRAM scan of ``num_bytes``."""
+        self._phase.sequential_bytes += num_bytes
+        self.lifetime_sequential_bytes += num_bytes
+
+    def random_accesses(self, num_accesses: int, working_set_bytes: int) -> None:
+        """Charge dependent random accesses over a working set.
+
+        ``working_set_bytes`` is the size of the structure being chased;
+        the cost model compares it against the LLC to decide whether each
+        access is a cache hit or a DRAM round-trip.  When several charges
+        with different working sets land in one phase, the largest
+        working set wins (conservative: the mixed access stream behaves
+        like its least cacheable component).
+        """
+        self._phase.random_accesses += num_accesses
+        self._phase.random_working_set_bytes = max(
+            self._phase.random_working_set_bytes, working_set_bytes
+        )
+        self.lifetime_random_accesses += num_accesses
+
+    def process_items(self, num_items: int) -> None:
+        """Charge ``num_items`` of per-item instruction work."""
+        self._phase.items_processed += num_items
+        self.lifetime_items_processed += num_items
+
+    # ------------------------------------------------------------------
+    # Phase lifecycle
+    # ------------------------------------------------------------------
+    def phase_busy_time(self) -> float:
+        """Busy time accumulated in the current phase, in seconds."""
+        model = self._cost_model
+        counters = self._phase
+        time = model.host_sequential_time(counters.sequential_bytes)
+        time += model.host_random_access_time(
+            counters.random_accesses, counters.random_working_set_bytes
+        )
+        time += model.host_compute_time(counters.items_processed)
+        return time
+
+    def reset_phase(self) -> None:
+        """Start a new phase with zeroed counters."""
+        self._phase = _HostPhaseCounters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HostCPU()"

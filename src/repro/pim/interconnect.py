@@ -1,0 +1,95 @@
+"""Communication channels of the PIM platform.
+
+Two logical channels exist:
+
+* **CPC** (CPU-PIM communication) — the host dispatches operators and
+  payloads to modules and gathers partial results back.  All modules
+  share roughly 25 GB/s of CPC bandwidth, so heavy result reduction
+  serialises here.
+* **IPC** (inter-PIM communication) — a module needs data owned by
+  another module.  UPMEM has no direct module-to-module path: the host
+  forwards the data, so IPC is strictly more expensive than CPC and the
+  partitioning algorithm's whole purpose is to minimise it.
+
+The :class:`Interconnect` records transfers during a phase; the system
+converts them into time with the cost model at phase end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.pim.cost_model import CostModel
+from repro.pim.stats import ChannelCounters
+
+
+@dataclass
+class _PhaseTraffic:
+    cpc: ChannelCounters = field(default_factory=ChannelCounters)
+    ipc: ChannelCounters = field(default_factory=ChannelCounters)
+    #: Per (src_module, dst_module) IPC byte counts, for locality diagnostics.
+    ipc_pairs: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+class Interconnect:
+    """Records CPC and IPC traffic and converts it into channel time."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+        self._phase = _PhaseTraffic()
+        self.lifetime_cpc = ChannelCounters()
+        self.lifetime_ipc = ChannelCounters()
+
+    # ------------------------------------------------------------------
+    # Charging traffic
+    # ------------------------------------------------------------------
+    def cpc_transfer(self, num_bytes: int, num_transfers: int = 1) -> None:
+        """Charge a host<->module transfer of ``num_bytes``."""
+        self._phase.cpc.record(num_bytes, num_transfers)
+        self.lifetime_cpc.record(num_bytes, num_transfers)
+
+    def ipc_transfer(
+        self,
+        num_bytes: int,
+        src_module: int = -1,
+        dst_module: int = -1,
+        num_transfers: int = 1,
+    ) -> None:
+        """Charge a module->module transfer of ``num_bytes`` (host-forwarded)."""
+        self._phase.ipc.record(num_bytes, num_transfers)
+        self.lifetime_ipc.record(num_bytes, num_transfers)
+        if src_module >= 0 and dst_module >= 0:
+            key = (src_module, dst_module)
+            self._phase.ipc_pairs[key] = self._phase.ipc_pairs.get(key, 0) + num_bytes
+
+    # ------------------------------------------------------------------
+    # Phase lifecycle
+    # ------------------------------------------------------------------
+    def phase_cpc_time(self) -> float:
+        """CPC channel time of the current phase, in seconds."""
+        counters = self._phase.cpc
+        if counters.transfers == 0 and counters.bytes_moved == 0:
+            return 0.0
+        return self._cost_model.cpc_time(counters.bytes_moved, counters.transfers)
+
+    def phase_ipc_time(self) -> float:
+        """IPC channel time of the current phase, in seconds."""
+        counters = self._phase.ipc
+        if counters.transfers == 0 and counters.bytes_moved == 0:
+            return 0.0
+        return self._cost_model.ipc_time(counters.bytes_moved, counters.transfers)
+
+    def phase_counters(self) -> _PhaseTraffic:
+        """Traffic counters of the current phase (live reference)."""
+        return self._phase
+
+    def reset_phase(self) -> None:
+        """Start a new phase with zeroed traffic."""
+        self._phase = _PhaseTraffic()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Interconnect(cpc_bytes={self.lifetime_cpc.bytes_moved}, "
+            f"ipc_bytes={self.lifetime_ipc.bytes_moved})"
+        )

@@ -1,0 +1,80 @@
+"""The PIM module model: a wimpy core plus a small local memory.
+
+A :class:`PIMModule` does not execute real code; engines *charge* work
+to it (bytes streamed from local memory, random local accesses, items
+processed, kernels launched) and the system converts those charges into
+a busy time per bulk-synchronous phase.  The module also owns a
+persistent :class:`~repro.pim.memory.LocalMemory` so that graph storage
+capacity is enforced across the whole lifetime of the system, not just
+during one operation.
+"""
+
+from __future__ import annotations
+
+from repro.pim.cost_model import CostModel
+from repro.pim.memory import LocalMemory
+from repro.pim.stats import ModuleCounters
+
+
+class PIMModule:
+    """One processing-in-memory module (an UPMEM DPU)."""
+
+    def __init__(self, module_id: int, cost_model: CostModel) -> None:
+        self.module_id = module_id
+        self._cost_model = cost_model
+        self.memory = LocalMemory(cost_model.module_memory_bytes)
+        #: Counters for the phase currently being recorded.
+        self._phase = ModuleCounters()
+        #: Counters accumulated over the module's lifetime (diagnostics,
+        #: load-balance reporting).
+        self.lifetime = ModuleCounters()
+
+    # ------------------------------------------------------------------
+    # Charging work (called by engines during a phase)
+    # ------------------------------------------------------------------
+    def launch_kernel(self) -> None:
+        """Charge one operator/kernel launch."""
+        self._phase.kernels_launched += 1
+        self.lifetime.kernels_launched += 1
+
+    def stream_bytes(self, num_bytes: int) -> None:
+        """Charge a sequential scan of ``num_bytes`` of local memory."""
+        self._phase.bytes_streamed += num_bytes
+        self.lifetime.bytes_streamed += num_bytes
+
+    def random_accesses(self, num_accesses: int) -> None:
+        """Charge ``num_accesses`` random local-memory accesses (hash lookups)."""
+        self._phase.random_accesses += num_accesses
+        self.lifetime.random_accesses += num_accesses
+
+    def process_items(self, num_items: int) -> None:
+        """Charge ``num_items`` of per-item instruction work on the core."""
+        self._phase.items_processed += num_items
+        self.lifetime.items_processed += num_items
+
+    # ------------------------------------------------------------------
+    # Phase lifecycle (called by the system)
+    # ------------------------------------------------------------------
+    def phase_busy_time(self) -> float:
+        """Busy time accumulated in the current phase, in seconds."""
+        model = self._cost_model
+        counters = self._phase
+        time = model.pim_stream_time(counters.bytes_streamed)
+        time += model.pim_random_access_time(counters.random_accesses)
+        time += model.pim_compute_time(counters.items_processed)
+        time += counters.kernels_launched * model.pim_launch_latency
+        return time
+
+    def phase_counters(self) -> ModuleCounters:
+        """Counters of the current phase (a live reference, not a copy)."""
+        return self._phase
+
+    def reset_phase(self) -> None:
+        """Start a new phase with zeroed counters."""
+        self._phase = ModuleCounters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PIMModule(id={self.module_id}, "
+            f"memory_used={self.memory.used_bytes})"
+        )

@@ -1,0 +1,161 @@
+"""The simulated PIM platform: host + modules + interconnect.
+
+:class:`PIMSystem` ties the component models together and provides the
+bulk-synchronous execution abstraction every engine uses:
+
+.. code-block:: python
+
+    system = PIMSystem(CostModel(num_modules=64))
+    op = system.begin_operation()
+    with op.phase("smxm hop 1"):
+        op.module(3).random_accesses(120)
+        op.module(3).process_items(480)
+        op.cpc_transfer(num_bytes=4096)
+    with op.phase("mwait"):
+        op.cpc_transfer(num_bytes=result_bytes, num_transfers=64)
+        op.host.process_items(result_items)
+    stats = op.finish()
+
+Within a phase all modules work in parallel, so the phase's PIM time is
+the **maximum** busy time across modules (this is where load imbalance
+hurts: one overloaded module stalls the phase).  Host, CPC and IPC time
+accumulate additively.  Phases execute back to back, matching the
+paper's map-reduce style dispatch of matrix operators.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.pim.cost_model import CostModel
+from repro.pim.host import HostCPU
+from repro.pim.interconnect import Interconnect
+from repro.pim.module import PIMModule
+from repro.pim.stats import ExecutionStats
+
+
+class OperationContext:
+    """Accounting context of one simulated operation (a batch query, an update...)."""
+
+    def __init__(self, system: "PIMSystem") -> None:
+        self._system = system
+        self._stats = ExecutionStats()
+        self._in_phase = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Component access
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> HostCPU:
+        """The host CPU (charge host work through this)."""
+        return self._system.host
+
+    def module(self, module_id: int) -> PIMModule:
+        """The PIM module with id ``module_id``."""
+        return self._system.modules[module_id]
+
+    @property
+    def num_modules(self) -> int:
+        """Number of PIM modules in the system."""
+        return len(self._system.modules)
+
+    def cpc_transfer(self, num_bytes: int, num_transfers: int = 1) -> None:
+        """Charge CPU-PIM traffic to the current phase."""
+        self._system.interconnect.cpc_transfer(num_bytes, num_transfers)
+
+    def ipc_transfer(
+        self,
+        num_bytes: int,
+        src_module: int = -1,
+        dst_module: int = -1,
+        num_transfers: int = 1,
+    ) -> None:
+        """Charge inter-PIM traffic (host-forwarded) to the current phase."""
+        self._system.interconnect.ipc_transfer(
+            num_bytes, src_module=src_module, dst_module=dst_module,
+            num_transfers=num_transfers,
+        )
+
+    def add_counter(self, name: str, amount: int = 1) -> None:
+        """Increment a free-form counter on the operation's stats."""
+        self._stats.add_counter(name, amount)
+
+    # ------------------------------------------------------------------
+    # Phase lifecycle
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str = "") -> Iterator["OperationContext"]:
+        """Open a bulk-synchronous phase; close it to account its time."""
+        if self._finished:
+            raise RuntimeError("operation already finished")
+        if self._in_phase:
+            raise RuntimeError("phases cannot be nested")
+        self._in_phase = True
+        self._system.reset_phase()
+        try:
+            yield self
+        finally:
+            self._accumulate_phase()
+            self._in_phase = False
+
+    def _accumulate_phase(self) -> None:
+        system = self._system
+        module_times = [module.phase_busy_time() for module in system.modules]
+        pim_time = max(module_times) if module_times else 0.0
+        self._stats.pim_time += pim_time
+        self._stats.phase_pim_times.append(pim_time)
+        self._stats.host_time += system.host.phase_busy_time()
+        self._stats.cpc_time += system.interconnect.phase_cpc_time()
+        self._stats.ipc_time += system.interconnect.phase_ipc_time()
+        traffic = system.interconnect.phase_counters()
+        self._stats.cpc.merge(traffic.cpc)
+        self._stats.ipc.merge(traffic.ipc)
+
+    def finish(self) -> ExecutionStats:
+        """Close the operation and return its statistics."""
+        if self._in_phase:
+            raise RuntimeError("cannot finish an operation while a phase is open")
+        self._finished = True
+        return self._stats
+
+
+class PIMSystem:
+    """The simulated platform: one host CPU, P PIM modules, shared channels."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.host = HostCPU(self.cost_model)
+        self.modules: List[PIMModule] = [
+            PIMModule(module_id, self.cost_model)
+            for module_id in range(self.cost_model.num_modules)
+        ]
+        self.interconnect = Interconnect(self.cost_model)
+
+    @property
+    def num_modules(self) -> int:
+        """Number of PIM modules."""
+        return len(self.modules)
+
+    def begin_operation(self) -> OperationContext:
+        """Start accounting a new operation."""
+        return OperationContext(self)
+
+    def reset_phase(self) -> None:
+        """Zero all per-phase counters (called by :class:`OperationContext`)."""
+        for module in self.modules:
+            module.reset_phase()
+        self.host.reset_phase()
+        self.interconnect.reset_phase()
+
+    def memory_utilization(self) -> List[float]:
+        """Per-module local-memory utilisation (0.0 - 1.0)."""
+        return [module.memory.utilization for module in self.modules]
+
+    def load_report(self) -> List[int]:
+        """Lifetime items processed per module (load-balance diagnostic)."""
+        return [module.lifetime.items_processed for module in self.modules]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PIMSystem(num_modules={self.num_modules})"

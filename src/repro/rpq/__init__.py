@@ -1,0 +1,79 @@
+"""Regular path query engine.
+
+A regular path query (RPQ) asks for all endpoint pairs connected by a
+path whose edge-label sequence matches a regular expression.  This
+package provides:
+
+* the path-expression parser (:mod:`repro.rpq.regex`),
+* Thompson NFA / subset-construction DFA builders
+  (:mod:`repro.rpq.automaton`),
+* query objects — :class:`RPQuery` and the paper's :class:`KHopQuery`
+  workload (:mod:`repro.rpq.query`),
+* the logical planner that lowers queries into matrix-based execution
+  plans (:mod:`repro.rpq.planner`),
+* a reference evaluator used as the correctness oracle for every engine
+  (:mod:`repro.rpq.evaluator`).
+"""
+
+from repro.rpq.regex import (
+    ANY_LABEL,
+    Concat,
+    Label,
+    RegexNode,
+    RegexSyntaxError,
+    Repeat,
+    Union,
+    khop_expression,
+    parse_path_expression,
+)
+from repro.rpq.automaton import DFA, EPSILON, NFA, build_dfa, build_nfa, determinize
+from repro.rpq.query import (
+    BatchResult,
+    KHopQuery,
+    RPQuery,
+    make_batch_khop,
+    random_source_batch,
+)
+from repro.rpq.planner import (
+    ExpandStep,
+    FixpointStep,
+    LogicalPlan,
+    ReduceStep,
+    plan_khop,
+    plan_query,
+    plan_rpq,
+)
+from repro.rpq.evaluator import count_khop_paths, evaluate_khop, evaluate_rpq
+
+__all__ = [
+    "ANY_LABEL",
+    "RegexNode",
+    "Label",
+    "Concat",
+    "Union",
+    "Repeat",
+    "RegexSyntaxError",
+    "parse_path_expression",
+    "khop_expression",
+    "NFA",
+    "DFA",
+    "EPSILON",
+    "build_nfa",
+    "build_dfa",
+    "determinize",
+    "RPQuery",
+    "KHopQuery",
+    "BatchResult",
+    "make_batch_khop",
+    "random_source_batch",
+    "LogicalPlan",
+    "ExpandStep",
+    "FixpointStep",
+    "ReduceStep",
+    "plan_khop",
+    "plan_rpq",
+    "plan_query",
+    "evaluate_khop",
+    "evaluate_rpq",
+    "count_khop_paths",
+]

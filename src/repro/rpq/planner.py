@@ -1,0 +1,136 @@
+"""Logical planning: from a path query to a matrix-based execution plan.
+
+Moctopus (like RedisGraph) evaluates path queries as sequences of sparse
+matrix operations.  The planner turns a query into a
+:class:`LogicalPlan`, a linear list of steps:
+
+* :class:`ExpandStep` — one ``smxm``: multiply the current frontier
+  matrix by the (label-filtered) adjacency matrix, i.e. advance every
+  pending path by one edge;
+* :class:`FixpointStep` — repeat an expansion until no new reachable
+  pairs appear (Kleene closure);
+* :class:`ReduceStep` — the final ``mwait``: gather per-partition partial
+  results and reduce them into the answer matrix.
+
+For the paper's k-hop query the plan is exactly ``k`` expand steps plus
+one reduce step — the ``ans = Q x Adj x ... x Adj`` plan of Figure 2.
+General RPQs are planned against their DFA: each step expands all
+in-flight automaton states simultaneously, so the execution engines only
+ever need the three step types above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union as TypingUnion
+
+from repro.rpq.automaton import DFA
+from repro.rpq.query import KHopQuery, RPQuery
+from repro.rpq.regex import ANY_LABEL
+
+
+@dataclass(frozen=True)
+class ExpandStep:
+    """One frontier expansion (an ``smxm`` operator).
+
+    Attributes
+    ----------
+    label:
+        Edge label to follow; :data:`ANY_LABEL` follows every edge.
+    accumulate:
+        When true, destinations reached by this step are added to the
+        result set even if later steps follow (used when the automaton
+        accepts at this depth).
+    """
+
+    label: str = ANY_LABEL
+    accumulate: bool = False
+
+
+@dataclass(frozen=True)
+class FixpointStep:
+    """Expand repeatedly until the frontier stops growing (Kleene closure)."""
+
+    label: str = ANY_LABEL
+    #: Safety bound on iterations; ``None`` means the graph's node count.
+    max_iterations: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReduceStep:
+    """The ``mwait`` operator: gather partial results and build ``ans``."""
+
+
+PlanStep = TypingUnion[ExpandStep, FixpointStep, ReduceStep]
+
+
+@dataclass
+class LogicalPlan:
+    """A linear matrix-based execution plan."""
+
+    steps: List[PlanStep] = field(default_factory=list)
+    #: Whether result semantics are "exactly the final frontier" (k-hop)
+    #: or "every accumulated accepting frontier" (general RPQ).
+    accumulate_results: bool = False
+    #: DFA used by the general evaluator (``None`` for pure k-hop plans).
+    dfa: Optional[DFA] = None
+
+    @property
+    def num_expansions(self) -> int:
+        """Number of expand steps (fixpoints count once)."""
+        return sum(
+            1 for step in self.steps if isinstance(step, (ExpandStep, FixpointStep))
+        )
+
+    def explain(self) -> str:
+        """Human-readable plan description (one line per step)."""
+        lines = []
+        for index, step in enumerate(self.steps):
+            if isinstance(step, ExpandStep):
+                label = "any" if step.label == ANY_LABEL else step.label
+                suffix = " (accumulate)" if step.accumulate else ""
+                lines.append(f"{index}: smxm expand label={label}{suffix}")
+            elif isinstance(step, FixpointStep):
+                label = "any" if step.label == ANY_LABEL else step.label
+                lines.append(f"{index}: smxm fixpoint label={label}")
+            else:
+                lines.append(f"{index}: mwait reduce")
+        return "\n".join(lines)
+
+
+def plan_khop(query: KHopQuery) -> LogicalPlan:
+    """Plan a k-hop query: ``k`` expansions followed by a reduction."""
+    steps: List[PlanStep] = [ExpandStep(label=ANY_LABEL) for _ in range(query.hops)]
+    steps.append(ReduceStep())
+    return LogicalPlan(steps=steps, accumulate_results=False)
+
+
+def plan_rpq(query: RPQuery) -> LogicalPlan:
+    """Plan a general RPQ.
+
+    Fixed-length, single-label-per-position expressions (the common case
+    in practice: chains of labels, possibly with alternation resolved by
+    the automaton) plan into a chain of expand steps.  Everything else
+    plans into a DFA-guided plan whose expansion count is bounded by the
+    automaton's state count times the graph diameter; the execution
+    engines use the attached DFA for the per-step label filtering.
+    """
+    ast = query.ast()
+    if ast.is_fixed_length():
+        length = ast.fixed_length() or 0
+        dfa = query.dfa()
+        steps: List[PlanStep] = [ExpandStep(label=ANY_LABEL) for _ in range(length)]
+        steps.append(ReduceStep())
+        return LogicalPlan(steps=steps, accumulate_results=False, dfa=dfa)
+    dfa = query.dfa()
+    steps = [FixpointStep(label=ANY_LABEL), ReduceStep()]
+    return LogicalPlan(steps=steps, accumulate_results=True, dfa=dfa)
+
+
+def plan_query(query) -> LogicalPlan:
+    """Dispatch to :func:`plan_khop` or :func:`plan_rpq` by query type."""
+    if isinstance(query, KHopQuery):
+        return plan_khop(query)
+    if isinstance(query, RPQuery):
+        return plan_rpq(query)
+    raise TypeError(f"unsupported query type {type(query).__name__}")

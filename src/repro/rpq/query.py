@@ -1,0 +1,169 @@
+"""Query objects: regular path queries and the k-hop special case.
+
+The paper's evaluation focuses on a typical RPQ — the *k-hop path query
+with a fixed start node*, processed in batches — while the system is
+described for RPQs in general.  Two query classes mirror that split:
+
+* :class:`RPQuery` — an arbitrary path expression plus a batch of source
+  nodes; evaluated via the automaton machinery.
+* :class:`KHopQuery` — the ``.{k}`` special case; engines recognise it
+  and run the pure matrix plan ``ans = Q x Adj x ... x Adj``.
+
+A query result is a :class:`BatchResult`: per query (row) the set of
+destination nodes whose path from the query's source matches the
+expression, matching the ``ans`` matrix of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.rpq.automaton import DFA, build_dfa
+from repro.rpq.regex import RegexNode, khop_expression, parse_path_expression
+
+
+@dataclass
+class BatchResult:
+    """Result of a batch of single-source path queries.
+
+    ``destinations[i]`` is the destination set of the ``i``-th query in
+    the batch (the ``i``-th row of the ``ans`` matrix).
+    """
+
+    sources: List[int]
+    destinations: List[Set[int]]
+
+    def pairs(self) -> Set[Tuple[int, int]]:
+        """All matched ``(source, destination)`` endpoint pairs."""
+        matched: Set[Tuple[int, int]] = set()
+        for source, destination_set in zip(self.sources, self.destinations):
+            for destination in destination_set:
+                matched.add((source, destination))
+        return matched
+
+    def destinations_of(self, index: int) -> Set[int]:
+        """Destination set of the ``index``-th query in the batch."""
+        return self.destinations[index]
+
+    @property
+    def total_matches(self) -> int:
+        """Total number of matched endpoint pairs across the batch."""
+        return sum(len(destination_set) for destination_set in self.destinations)
+
+    def as_dict(self) -> Dict[int, Set[int]]:
+        """Mapping from source to the union of its destinations.
+
+        When the same source appears several times in the batch its
+        destination sets are merged.
+        """
+        merged: Dict[int, Set[int]] = {}
+        for source, destination_set in zip(self.sources, self.destinations):
+            merged.setdefault(source, set()).update(destination_set)
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BatchResult):
+            return NotImplemented
+        return (
+            self.sources == other.sources
+            and self.destinations == other.destinations
+        )
+
+
+@dataclass
+class RPQuery:
+    """A regular path query over edge labels with a batch of sources.
+
+    Parameters
+    ----------
+    expression:
+        Path expression string (see :mod:`repro.rpq.regex` for the
+        dialect) — e.g. ``"knows+"`` or ``"(cites/cites)|cites"``.
+    sources:
+        Source node per query in the batch.
+    """
+
+    expression: str
+    sources: List[int] = field(default_factory=list)
+
+    def ast(self) -> RegexNode:
+        """Parsed AST of the expression."""
+        return parse_path_expression(self.expression)
+
+    def dfa(self) -> DFA:
+        """Deterministic automaton of the expression."""
+        return build_dfa(self.expression)
+
+    def is_fixed_length(self) -> bool:
+        """Whether every matched path has the same number of edges."""
+        return self.ast().is_fixed_length()
+
+    def fixed_length(self) -> int:
+        """The common path length; raises ``ValueError`` when variable."""
+        length = self.ast().fixed_length()
+        if length is None:
+            raise ValueError(
+                f"path expression {self.expression!r} matches variable-length paths"
+            )
+        return length
+
+    @property
+    def batch_size(self) -> int:
+        """Number of queries in the batch."""
+        return len(self.sources)
+
+
+@dataclass
+class KHopQuery:
+    """Batch k-hop path query with fixed start nodes (the paper's workload).
+
+    Semantics: for each source, return the nodes reachable by a path of
+    **exactly** ``hops`` edges (any labels).  This matches the matrix
+    plan ``ans = Q x Adj^k`` of the paper's Figure 2.
+    """
+
+    hops: int
+    sources: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ValueError("hops must be at least 1")
+
+    @property
+    def batch_size(self) -> int:
+        """Number of queries in the batch."""
+        return len(self.sources)
+
+    def expression(self) -> str:
+        """Equivalent path expression (``.{k}``)."""
+        return khop_expression(self.hops)
+
+    def to_rpq(self) -> RPQuery:
+        """The equivalent general :class:`RPQuery`."""
+        return RPQuery(expression=self.expression(), sources=list(self.sources))
+
+
+def make_batch_khop(
+    sources: Iterable[int], hops: int
+) -> KHopQuery:
+    """Convenience constructor for a batch k-hop query."""
+    return KHopQuery(hops=hops, sources=list(sources))
+
+
+def random_source_batch(
+    node_ids: Sequence[int], batch_size: int, seed: int = 0
+) -> List[int]:
+    """Sample ``batch_size`` start nodes (with replacement) for a batch query.
+
+    The paper's workload selects start nodes randomly and issues them in
+    one batch (batch size 64 K); sampling with replacement keeps that
+    behaviour valid even when the scaled-down graph has fewer nodes than
+    the batch size.
+    """
+    import random
+
+    rng = random.Random(seed)
+    if not node_ids:
+        raise ValueError("cannot sample sources from an empty node set")
+    return [node_ids[rng.randrange(len(node_ids))] for _ in range(batch_size)]

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Tests run on deliberately small graphs and platforms (4-8 PIM modules)
+so the whole suite stays fast; the benchmark harness is where the
+paper-scale configurations live.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core import MoctopusConfig  # noqa: E402
+from repro.graph import DiGraph, community_graph, power_law_graph, road_network  # noqa: E402
+from repro.pim import CostModel  # noqa: E402
+
+
+@pytest.fixture
+def tiny_graph() -> DiGraph:
+    """The routing-connection example graph of the paper's Figure 2."""
+    graph = DiGraph()
+    edges = [
+        (0, 1), (1, 2),
+        (2, 5), (5, 6), (5, 8),
+        (2, 3), (3, 6),
+        (2, 4), (4, 9),
+        (6, 9), (7, 8), (8, 7),
+        (9, 0),
+    ]
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    return graph
+
+
+@pytest.fixture
+def small_road() -> DiGraph:
+    """A small road-network-like lattice."""
+    return road_network(rows=12, cols=12, seed=3)
+
+
+@pytest.fixture
+def small_power_law() -> DiGraph:
+    """A small skewed graph with hubs above the high-degree threshold."""
+    return power_law_graph(num_nodes=300, edges_per_node=3, skew=0.85, seed=7)
+
+
+@pytest.fixture
+def small_community() -> DiGraph:
+    """A small planted-partition graph."""
+    return community_graph(num_communities=8, community_size=16, seed=11)
+
+
+@pytest.fixture
+def small_cost_model() -> CostModel:
+    """A platform with few modules, for fast simulated runs."""
+    return CostModel(num_modules=8)
+
+
+@pytest.fixture
+def small_config(small_cost_model: CostModel) -> MoctopusConfig:
+    """Moctopus configuration matching the small platform."""
+    return MoctopusConfig(cost_model=small_cost_model)

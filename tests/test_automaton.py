@@ -1,0 +1,94 @@
+"""Tests for NFA/DFA construction over edge labels."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpq import build_dfa, build_nfa, determinize, parse_path_expression
+
+
+CASES = {
+    "a": {("a",): True, ("b",): False, (): False},
+    "a/b": {("a", "b"): True, ("a", "a"): False, ("a",): False},
+    "a|b": {("a",): True, ("b",): True, ("c",): False},
+    "a*": {(): True, ("a",): True, ("a", "a", "a"): True, ("b",): False},
+    "a+": {(): False, ("a",): True, ("a", "a"): True},
+    "a?": {(): True, ("a",): True, ("a", "a"): False},
+    "a{2,3}": {("a",): False, ("a", "a"): True, ("a", "a", "a"): True,
+               ("a", "a", "a", "a"): False},
+    "(a/b)+": {("a", "b"): True, ("a", "b", "a", "b"): True, ("a",): False,
+               ("a", "b", "a"): False},
+    ". /b": {("x", "b"): True, ("b", "a"): False},
+    ".{2}": {("x", "y"): True, ("x",): False, ("x", "y", "z"): False},
+    "a/(b|c)/d": {("a", "b", "d"): True, ("a", "c", "d"): True,
+                  ("a", "d", "d"): False},
+}
+
+
+@pytest.mark.parametrize("expression", sorted(CASES))
+def test_nfa_matches_expected_strings(expression):
+    nfa = build_nfa(expression)
+    for labels, expected in CASES[expression].items():
+        assert nfa.matches(list(labels)) is expected, (expression, labels)
+
+
+@pytest.mark.parametrize("expression", sorted(CASES))
+def test_dfa_agrees_with_nfa_on_expected_strings(expression):
+    dfa = build_dfa(expression)
+    for labels, expected in CASES[expression].items():
+        assert dfa.matches(list(labels)) is expected, (expression, labels)
+
+
+def test_nfa_structure_basics():
+    nfa = build_nfa("a|b")
+    assert nfa.num_states >= 4
+    assert nfa.alphabet() == {"a", "b"}
+    assert nfa.is_accepting(nfa.epsilon_closure({nfa.accept}))
+
+
+def test_dfa_wildcard_default_transitions():
+    dfa = build_dfa(".{2}")
+    assert dfa.matches(["anything", "else"])
+    assert not dfa.matches(["one"])
+    assert dfa.num_states >= 3
+
+
+def test_determinize_preserves_acceptance_of_empty_string():
+    nfa = build_nfa("a*")
+    dfa = determinize(nfa)
+    assert dfa.is_accepting(dfa.start)
+
+
+def test_build_from_ast_node():
+    ast = parse_path_expression("a/b")
+    nfa = build_nfa(ast)
+    assert nfa.matches(["a", "b"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(sorted(CASES)),
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=5),
+)
+def test_dfa_and_nfa_always_agree(expression, labels):
+    """Subset construction must preserve the recognised language."""
+    nfa = build_nfa(expression)
+    dfa = build_dfa(expression)
+    assert nfa.matches(labels) == dfa.matches(labels)
+
+
+def test_exhaustive_agreement_over_short_strings():
+    alphabet = ["a", "b", "c"]
+    for expression in ("a/(b|c)", "(a|b)*", "a{1,2}/c"):
+        nfa = build_nfa(expression)
+        dfa = build_dfa(expression)
+        for length in range(0, 4):
+            for labels in itertools.product(alphabet, repeat=length):
+                assert nfa.matches(list(labels)) == dfa.matches(list(labels)), (
+                    expression,
+                    labels,
+                )

@@ -1,0 +1,117 @@
+"""Tests for the benchmark support package (workloads, runner, reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_NUM_MODULES,
+    SystemProvider,
+    build_systems,
+    format_table,
+    geometric_mean,
+    khop_workload,
+    rows_to_dicts,
+    run_ipc_experiment,
+    run_khop_experiment,
+    run_update_experiment,
+    scaled_cost_model,
+    speedup_summary,
+    update_workload,
+)
+from repro.graph import load_dataset
+
+
+SMALL_SCALE = 0.15
+
+
+def test_scaled_cost_model_defaults():
+    model = scaled_cost_model()
+    assert model.num_modules == DEFAULT_NUM_MODULES
+    assert model.host_llc_bytes == 32 * 1024
+    assert model.cpc_transfer_latency < 1e-6
+
+
+def test_khop_workload_sources_come_from_graph():
+    graph = load_dataset(6, scale=SMALL_SCALE)
+    query = khop_workload(graph, hops=2, batch_size=32, seed=1)
+    assert query.batch_size == 32
+    assert all(graph.has_node(source) for source in query.sources)
+
+
+def test_update_workload_batches():
+    graph = load_dataset(7, scale=SMALL_SCALE)
+    workload = update_workload(graph, batch_size=16, seed=2)
+    assert workload.batch_size == 16
+    assert len(workload.delete_edges) == 16
+    for src, dst in workload.insert_edges:
+        assert not graph.has_edge(src, dst)
+    for src, dst in workload.delete_edges:
+        assert graph.has_edge(src, dst)
+
+
+def test_build_systems_loads_all_three_engines():
+    graph = load_dataset(6, scale=SMALL_SCALE)
+    cost_model = scaled_cost_model(num_modules=8)
+    systems = build_systems(graph, cost_model=cost_model, warmup_rounds=1)
+    assert systems.moctopus.num_edges == graph.num_edges
+    assert systems.redisgraph.num_edges == graph.num_edges
+    assert set(systems.by_name()) == {"moctopus", "pim-hash", "redisgraph"}
+
+
+def test_system_provider_caches():
+    provider = SystemProvider(scale=SMALL_SCALE, cost_model=scaled_cost_model(num_modules=8),
+                              warmup_rounds=0)
+    first = provider.get(6)
+    second = provider.get(6)
+    assert first is second
+    provider.clear()
+    assert provider.get(6) is not first
+
+
+def test_run_khop_experiment_rows_have_expected_fields():
+    provider = SystemProvider(scale=SMALL_SCALE, cost_model=scaled_cost_model(num_modules=8),
+                              warmup_rounds=1)
+    rows = run_khop_experiment([1, 6], hops=2, batch_size=32, provider=provider)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["moctopus_ms"] > 0
+        assert row["redisgraph_ms"] > 0
+        assert row["speedup_vs_redisgraph"] == pytest.approx(
+            row["redisgraph_ms"] / row["moctopus_ms"]
+        )
+
+
+def test_run_ipc_experiment_reports_reduction():
+    provider = SystemProvider(scale=SMALL_SCALE, cost_model=scaled_cost_model(num_modules=8),
+                              warmup_rounds=1)
+    rows = run_ipc_experiment([7], hops=2, batch_size=32, provider=provider)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["pim_hash_ipc_ms"] >= 0
+    assert row["ipc_reduction"] <= 1.0
+
+
+def test_run_update_experiment_reports_speedups():
+    rows = run_update_experiment([6], batch_size=32, scale=SMALL_SCALE,
+                                 cost_model=scaled_cost_model(num_modules=8))
+    row = rows[0]
+    assert row["insert_speedup"] > 1.0
+    assert row["delete_speedup"] > 1.0
+
+
+def test_format_table_alignment_and_dicts():
+    headers = ["trace", "latency_ms"]
+    rows = [["#1", 12.5], ["#2", 0.0001]]
+    text = format_table(headers, rows)
+    assert "trace" in text and "#2" in text
+    dicts = rows_to_dicts(headers, rows)
+    assert dicts[0]["trace"] == "#1"
+
+
+def test_geometric_mean_and_summary():
+    assert geometric_mean([1, 100]) == pytest.approx(10.0)
+    assert geometric_mean([]) == 0.0
+    summary = speedup_summary({"a": 2.0, "b": 8.0})
+    assert "geomean 4.00x" in summary
+    assert speedup_summary({}) == "no data"

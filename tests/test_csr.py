@@ -1,0 +1,55 @@
+"""Tests for the CSR adjacency used by the RedisGraph-like baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRMatrix, DiGraph
+
+
+def test_from_graph_rows_are_sorted():
+    graph = DiGraph.from_edges([(0, 3), (0, 1), (0, 2), (2, 0)])
+    csr = CSRMatrix.from_graph(graph)
+    assert csr.num_rows == 4
+    assert csr.nnz == 4
+    assert list(csr.row(0)) == [1, 2, 3]
+    assert csr.row_length(0) == 3
+    assert csr.row_length(1) == 0
+
+
+def test_has_entry_binary_search():
+    csr = CSRMatrix.from_edges([(0, 2), (0, 5), (1, 0)])
+    assert csr.has_entry(0, 5)
+    assert not csr.has_entry(0, 3)
+    assert csr.has_entry(1, 0)
+
+
+def test_out_degrees_vector():
+    csr = CSRMatrix.from_edges([(0, 1), (0, 2), (1, 2)])
+    assert list(csr.out_degrees()) == [2, 1, 0]
+
+
+def test_expand_frontier_union_and_row_count():
+    csr = CSRMatrix.from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+    destinations, rows_touched = csr.expand_frontier([0, 1])
+    assert list(destinations) == [1, 2]
+    assert rows_touched == 2
+    destinations, rows_touched = csr.expand_frontier([99])
+    assert len(destinations) == 0
+    assert rows_touched == 0
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix([1, 2], [0])
+    with pytest.raises(ValueError):
+        CSRMatrix([0, 2], [0])
+    with pytest.raises(ValueError):
+        CSRMatrix(np.zeros((2, 2)), [0])
+
+
+def test_empty_graph():
+    csr = CSRMatrix.from_graph(DiGraph())
+    assert csr.num_rows == 0
+    assert csr.nnz == 0

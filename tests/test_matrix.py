@@ -1,0 +1,191 @@
+"""Tests for sparse boolean/semiring matrices and the k-hop reference."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    BOOLEAN,
+    COUNTING,
+    MIN_PLUS,
+    BooleanMatrix,
+    DiGraph,
+    SemiringMatrix,
+    khop_reachability,
+)
+
+
+def brute_force_product(a_entries, b_entries, size):
+    dense_a = [[0] * size for _ in range(size)]
+    dense_b = [[0] * size for _ in range(size)]
+    for row, col in a_entries:
+        dense_a[row][col] = 1
+    for row, col in b_entries:
+        dense_b[row][col] = 1
+    product = set()
+    for i in range(size):
+        for j in range(size):
+            if any(dense_a[i][k] and dense_b[k][j] for k in range(size)):
+                product.add((i, j))
+    return product
+
+
+def test_set_get_clear():
+    matrix = BooleanMatrix()
+    matrix.set(2, 5)
+    assert matrix.get(2, 5)
+    assert not matrix.get(5, 2)
+    matrix.clear(2, 5)
+    assert not matrix.get(2, 5)
+    assert matrix.nnz == 0
+
+
+def test_from_graph_shape_and_entries():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+    matrix = BooleanMatrix.from_graph(graph)
+    assert matrix.num_rows == matrix.num_cols == 3
+    assert set(matrix.entries()) == {(0, 1), (1, 2), (2, 0)}
+
+
+def test_batch_query_matrix_rows_are_queries():
+    matrix = BooleanMatrix.batch_query_matrix([5, 3, 5], num_cols=6)
+    assert matrix.row(0) == {5}
+    assert matrix.row(1) == {3}
+    assert matrix.row(2) == {5}
+
+
+def test_mxm_small_example():
+    adjacency = BooleanMatrix.from_entries([(0, 1), (1, 2), (2, 0)])
+    frontier = BooleanMatrix.batch_query_matrix([0], num_cols=3)
+    one_hop = frontier.mxm(adjacency)
+    assert one_hop.row(0) == {1}
+    two_hop = one_hop.mxm(adjacency)
+    assert two_hop.row(0) == {2}
+
+
+def test_element_wise_or_and_transpose():
+    a = BooleanMatrix.from_entries([(0, 1)])
+    b = BooleanMatrix.from_entries([(1, 0)])
+    union = a.element_wise_or(b)
+    assert union.get(0, 1) and union.get(1, 0)
+    assert a.transpose().get(1, 0)
+
+
+def test_equality_ignores_shape_metadata():
+    a = BooleanMatrix.from_entries([(0, 1)], num_rows=10, num_cols=10)
+    b = BooleanMatrix.from_entries([(0, 1)])
+    assert a == b
+
+
+def test_boolean_matrix_unhashable():
+    with pytest.raises(TypeError):
+        hash(BooleanMatrix())
+
+
+def test_to_dense_round_trip():
+    matrix = BooleanMatrix.from_entries([(0, 1), (2, 2)], num_rows=3, num_cols=3)
+    dense = matrix.to_dense()
+    assert dense[0][1] == 1 and dense[2][2] == 1
+    assert sum(sum(row) for row in dense) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=40
+    ),
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=40
+    ),
+)
+def test_mxm_matches_brute_force(a_entries, b_entries):
+    a = BooleanMatrix.from_entries(a_entries, num_rows=8, num_cols=8)
+    b = BooleanMatrix.from_entries(b_entries, num_rows=8, num_cols=8)
+    expected = brute_force_product(set(a_entries), set(b_entries), 8)
+    assert set(a.mxm(b).entries()) == expected
+
+
+def test_khop_reachability_exact_vs_accumulate():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    adjacency = BooleanMatrix.from_graph(graph)
+    exact = khop_reachability(adjacency, [0], hops=2)
+    assert exact.row(0) == {2}
+    accumulated = khop_reachability(adjacency, [0], hops=2, accumulate=True)
+    assert accumulated.row(0) == {1, 2}
+
+
+def test_khop_reachability_rejects_negative_hops():
+    adjacency = BooleanMatrix.from_entries([(0, 1)])
+    with pytest.raises(ValueError):
+        khop_reachability(adjacency, [0], hops=-1)
+
+
+def test_counting_semiring_counts_parallel_paths():
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    matrix = SemiringMatrix.from_graph(graph, semiring=COUNTING)
+    frontier = SemiringMatrix(semiring=COUNTING)
+    frontier.set(0, 0, 1)
+    two_hop = frontier.mxm(matrix).mxm(matrix)
+    assert two_hop.get(0, 3) == 2
+    assert two_hop.total() == 2
+
+
+def test_min_plus_semiring_computes_shortest_paths():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    adjacency = SemiringMatrix.from_graph(graph, semiring=MIN_PLUS)
+    # Edges carry weight "one" == 0 under min-plus... use explicit weights.
+    adjacency = SemiringMatrix(semiring=MIN_PLUS)
+    adjacency.set(0, 1, 1)
+    adjacency.set(1, 2, 1)
+    adjacency.set(0, 2, 5)
+    frontier = SemiringMatrix(semiring=MIN_PLUS)
+    frontier.set(0, 0, 0)
+    reachable = frontier.mxm(adjacency).mxm(adjacency)
+    assert reachable.get(0, 2) == 2
+
+
+def test_semiring_mismatch_raises():
+    a = SemiringMatrix(semiring=COUNTING)
+    b = SemiringMatrix(semiring=BOOLEAN)
+    a.set(0, 0, 1)
+    b.set(0, 0, True)
+    with pytest.raises(ValueError):
+        a.mxm(b)
+
+
+def test_semiring_matrix_drops_zero_entries():
+    matrix = SemiringMatrix(semiring=COUNTING)
+    matrix.set(0, 0, 5)
+    matrix.set(0, 0, 0)
+    assert matrix.nnz == 0
+
+
+def test_boolean_projection_matches_pattern():
+    counting = SemiringMatrix(semiring=COUNTING)
+    counting.set(0, 1, 4)
+    counting.set(2, 3, 1)
+    pattern = counting.to_boolean()
+    assert set(pattern.entries()) == {(0, 1), (2, 3)}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=30),
+    st.integers(min_value=0, max_value=3),
+)
+def test_counting_pattern_matches_boolean_reachability(edges, hops):
+    """The non-zero pattern of Q x Adj^k over counting == boolean result."""
+    graph = DiGraph.from_edges([(s, d) for s, d in edges if s != d] or [(0, 1)])
+    adjacency_bool = BooleanMatrix.from_graph(graph)
+    sources = sorted(graph.nodes())[:3]
+    boolean_result = khop_reachability(adjacency_bool, sources, hops=hops)
+
+    counting_adj = SemiringMatrix.from_graph(graph, semiring=COUNTING)
+    frontier = SemiringMatrix(semiring=COUNTING)
+    for row, source in enumerate(sources):
+        frontier.set(row, source, 1)
+    for _ in range(hops):
+        frontier = frontier.mxm(counting_adj)
+    assert set(frontier.to_boolean().entries()) == set(boolean_result.entries())

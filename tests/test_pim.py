@@ -1,0 +1,189 @@
+"""Tests for the PIM platform simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pim import (
+    CostModel,
+    ExecutionStats,
+    LocalMemory,
+    MemoryCapacityError,
+    PIMSystem,
+    UPMEM_FULL,
+    UPMEM_RANK,
+)
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+def test_presets_module_counts():
+    assert UPMEM_RANK.num_modules == 64
+    assert UPMEM_FULL.num_modules == 2048
+
+
+def test_with_modules_returns_modified_copy():
+    model = CostModel().with_modules(8)
+    assert model.num_modules == 8
+    assert CostModel().num_modules == 64
+    with pytest.raises(ValueError):
+        CostModel().with_modules(0)
+
+
+def test_pim_times_scale_linearly():
+    model = CostModel()
+    assert model.pim_stream_time(0) == 0.0
+    assert model.pim_stream_time(2000) == pytest.approx(2 * model.pim_stream_time(1000))
+    assert model.pim_random_access_time(10) == pytest.approx(
+        10 * model.pim_random_access_latency
+    )
+    assert model.pim_compute_time(4) == pytest.approx(4 * model.pim_item_cost)
+
+
+def test_host_random_access_depends_on_working_set():
+    model = CostModel()
+    cached = model.host_random_access_time(100, working_set_bytes=1024)
+    uncached = model.host_random_access_time(100, working_set_bytes=model.host_llc_bytes * 4)
+    assert uncached > cached
+    assert cached == pytest.approx(100 * model.host_cache_access_latency)
+    assert uncached == pytest.approx(100 * model.host_random_access_latency)
+
+
+def test_ipc_is_more_expensive_than_cpc():
+    model = CostModel()
+    assert model.ipc_time(10_000) > 2 * model.cpc_time(10_000)
+
+
+def test_describe_contains_key_parameters():
+    description = CostModel().describe()
+    assert description["num_modules"] == 64
+    assert "cpc_bandwidth" in description
+
+
+# ----------------------------------------------------------------------
+# Local memory
+# ----------------------------------------------------------------------
+def test_local_memory_allocation_and_free():
+    memory = LocalMemory(1000)
+    memory.allocate(600)
+    assert memory.used_bytes == 600
+    assert memory.available_bytes == 400
+    assert memory.utilization == pytest.approx(0.6)
+    memory.free(100)
+    assert memory.used_bytes == 500
+    memory.reset()
+    assert memory.used_bytes == 0
+
+
+def test_local_memory_overflow_raises():
+    memory = LocalMemory(100)
+    memory.allocate(90)
+    with pytest.raises(MemoryCapacityError) as info:
+        memory.allocate(20)
+    assert info.value.requested == 20
+    assert info.value.available == 10
+
+
+def test_local_memory_invalid_arguments():
+    with pytest.raises(ValueError):
+        LocalMemory(0)
+    memory = LocalMemory(10)
+    with pytest.raises(ValueError):
+        memory.allocate(-1)
+    with pytest.raises(ValueError):
+        memory.free(5)
+
+
+# ----------------------------------------------------------------------
+# System / operation accounting
+# ----------------------------------------------------------------------
+def test_phase_pim_time_is_max_over_modules():
+    system = PIMSystem(CostModel(num_modules=4))
+    op = system.begin_operation()
+    with op.phase("work"):
+        op.module(0).process_items(1000)
+        op.module(1).process_items(4000)
+    stats = op.finish()
+    expected = system.cost_model.pim_compute_time(4000)
+    assert stats.pim_time == pytest.approx(expected)
+    assert stats.phase_pim_times == [pytest.approx(expected)]
+
+
+def test_phases_accumulate_sequentially():
+    system = PIMSystem(CostModel(num_modules=2))
+    op = system.begin_operation()
+    with op.phase("a"):
+        op.module(0).process_items(100)
+    with op.phase("b"):
+        op.module(1).process_items(100)
+    stats = op.finish()
+    assert stats.pim_time == pytest.approx(2 * system.cost_model.pim_compute_time(100))
+
+
+def test_channel_times_and_counters():
+    system = PIMSystem(CostModel(num_modules=2))
+    op = system.begin_operation()
+    with op.phase("comm"):
+        op.cpc_transfer(1_000_000, num_transfers=1)
+        op.ipc_transfer(500_000, src_module=0, dst_module=1)
+    stats = op.finish()
+    assert stats.cpc.bytes_moved == 1_000_000
+    assert stats.ipc.bytes_moved == 500_000
+    assert stats.cpc_time > 0
+    assert stats.ipc_time > system.cost_model.cpc_time(500_000)
+    assert stats.total_time == pytest.approx(
+        stats.host_time + stats.cpc_time + stats.ipc_time + stats.pim_time
+    )
+
+
+def test_host_charges_accumulate():
+    system = PIMSystem(CostModel(num_modules=1))
+    op = system.begin_operation()
+    with op.phase("host"):
+        op.host.stream_bytes(10_000)
+        op.host.random_accesses(10, working_set_bytes=1 << 30)
+        op.host.process_items(100)
+    stats = op.finish()
+    model = system.cost_model
+    expected = (
+        model.host_sequential_time(10_000)
+        + model.host_random_access_time(10, 1 << 30)
+        + model.host_compute_time(100)
+    )
+    assert stats.host_time == pytest.approx(expected)
+
+
+def test_nested_phase_and_finish_guards():
+    system = PIMSystem(CostModel(num_modules=1))
+    op = system.begin_operation()
+    with op.phase("outer"):
+        with pytest.raises(RuntimeError):
+            with op.phase("inner"):
+                pass
+    op.finish()
+    with pytest.raises(RuntimeError):
+        with op.phase("after finish"):
+            pass
+
+
+def test_stats_merge_adds_components():
+    a = ExecutionStats(host_time=1.0, cpc_time=2.0)
+    b = ExecutionStats(ipc_time=3.0, pim_time=4.0)
+    b.add_counter("results", 7)
+    a.merge(b)
+    assert a.total_time == pytest.approx(10.0)
+    assert a.counters["results"] == 7
+
+
+def test_counters_and_reports():
+    system = PIMSystem(CostModel(num_modules=3))
+    op = system.begin_operation()
+    with op.phase("w"):
+        op.module(2).process_items(5)
+        op.module(2).memory  # touch attribute, no allocation
+    op.add_counter("queries", 2)
+    stats = op.finish()
+    assert stats.counters["queries"] == 2
+    assert system.load_report()[2] == 5
+    assert len(system.memory_utilization()) == 3

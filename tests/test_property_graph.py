@@ -1,0 +1,84 @@
+"""Tests for the property graph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PropertyGraph
+
+
+def build_routing_graph() -> PropertyGraph:
+    """The routing-connection graph of the paper's Figure 2."""
+    graph = PropertyGraph()
+    for node_id in range(10):
+        graph.add_node(node_id, label="Router", properties={"ip": f"127.0.0.{node_id}"})
+    for src, dst in [(0, 1), (1, 2), (2, 3), (2, 6), (2, 8), (3, 9), (1, 4),
+                     (4, 5), (6, 9), (8, 7)]:
+        graph.add_edge(src, dst, label="CONNECTS")
+    return graph
+
+
+def test_node_records_hold_labels_and_properties():
+    graph = build_routing_graph()
+    record = graph.node(2)
+    assert record.label == "Router"
+    assert record.properties["ip"] == "127.0.0.2"
+
+
+def test_add_node_merges_properties():
+    graph = PropertyGraph()
+    graph.add_node(1, properties={"a": 1})
+    graph.add_node(1, label="X", properties={"b": 2})
+    record = graph.node(1)
+    assert record.label == "X"
+    assert record.properties == {"a": 1, "b": 2}
+
+
+def test_find_nodes_by_property():
+    graph = build_routing_graph()
+    matches = graph.find_nodes(ip="127.0.0.3")
+    assert [record.node_id for record in matches] == [3]
+    assert graph.find_nodes(ip="10.0.0.1") == []
+
+
+def test_edges_project_into_adjacency():
+    graph = build_routing_graph()
+    adjacency = graph.adjacency()
+    assert adjacency.has_edge(2, 6)
+    assert adjacency.num_edges == graph.num_edges == 10
+    assert graph.has_edge(2, 6)
+    assert not graph.has_edge(6, 2)
+
+
+def test_edge_labels_are_interned_consistently():
+    graph = PropertyGraph()
+    graph.add_edge(0, 1, label="KNOWS")
+    graph.add_edge(1, 2, label="KNOWS")
+    graph.add_edge(2, 3, label="LIKES")
+    knows_id = graph.edge_label_id("KNOWS")
+    likes_id = graph.edge_label_id("LIKES")
+    assert knows_id != likes_id
+    assert graph.edge_label_name(knows_id) == "KNOWS"
+    assert graph.adjacency().edge_label(0, 1) == knows_id
+    assert graph.adjacency().edge_label(2, 3) == likes_id
+
+
+def test_remove_edge_updates_both_views():
+    graph = build_routing_graph()
+    assert graph.remove_edge(2, 6) is True
+    assert graph.remove_edge(2, 6) is False
+    assert not graph.has_edge(2, 6)
+    assert not graph.adjacency().has_edge(2, 6)
+
+
+def test_missing_node_lookup_raises():
+    graph = PropertyGraph()
+    with pytest.raises(KeyError):
+        graph.node(99)
+
+
+def test_iteration_counts():
+    graph = build_routing_graph()
+    assert len(list(graph.nodes())) == 10
+    assert len(list(graph.edges())) == 10
+    assert "CONNECTS" in graph.edge_labels

@@ -1,0 +1,56 @@
+"""Tests for the semiring registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import BOOLEAN, COUNTING, MIN_PLUS, get_semiring
+from repro.graph.semiring import SEMIRINGS
+
+
+def test_registry_contains_the_three_semirings():
+    assert set(SEMIRINGS) == {"boolean", "counting", "min_plus"}
+
+
+def test_get_semiring_by_name():
+    assert get_semiring("boolean") is BOOLEAN
+    assert get_semiring("counting") is COUNTING
+    assert get_semiring("min_plus") is MIN_PLUS
+
+
+def test_get_semiring_unknown_name_raises():
+    with pytest.raises(KeyError):
+        get_semiring("tropical-deluxe")
+
+
+def test_boolean_semiring_algebra():
+    assert BOOLEAN.add(False, True) is True
+    assert BOOLEAN.multiply(True, False) is False
+    assert BOOLEAN.is_zero(False)
+    assert not BOOLEAN.is_zero(True)
+    assert BOOLEAN.one is True
+
+
+def test_counting_semiring_algebra():
+    assert COUNTING.add(2, 3) == 5
+    assert COUNTING.multiply(2, 3) == 6
+    assert COUNTING.zero == 0
+    assert COUNTING.one == 1
+
+
+def test_min_plus_semiring_algebra():
+    assert MIN_PLUS.add(4, 7) == 4
+    assert MIN_PLUS.multiply(4, 7) == 11
+    assert MIN_PLUS.is_zero(float("inf"))
+    assert MIN_PLUS.one == 0
+
+
+def test_semiring_identities_hold_for_samples():
+    for semiring, samples in (
+        (BOOLEAN, [True, False]),
+        (COUNTING, [0, 1, 5]),
+        (MIN_PLUS, [0.0, 3.0, float("inf")]),
+    ):
+        for value in samples:
+            assert semiring.add(value, semiring.zero) == value
+            assert semiring.multiply(value, semiring.one) == value
