@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All package metadata lives in ``pyproject.toml`` (PEP 621); this file
+only exists so ``pip install -e .`` keeps working on environments whose
+setuptools predates bundled-wheel editable builds (the legacy
+``setup.py develop`` fallback needs it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -32,6 +32,14 @@ It contains:
     high-degree nodes, and the top-level :class:`repro.core.Moctopus`
     facade.
 
+``repro.engine``
+    The physical execution layer: logical plans lower into
+    dispatch/expand/route/reduce operator sequences executed by
+    swappable backends — the scalar reference engine and a vectorized
+    numpy engine over CSR storage snapshots — selected by
+    ``MoctopusConfig.engine`` and required to agree on every result and
+    every simulated counter.
+
 ``repro.baselines``
     The two comparison systems from the paper's evaluation: a
     RedisGraph-like single-node GraphBLAS engine and the PIM-hash scheme.

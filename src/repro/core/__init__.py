@@ -15,7 +15,10 @@ Figure 1:
 * :class:`LocalGraphStorage` — the hash-map adjacency segment of a PIM
   module;
 * :class:`HeterogeneousGraphStorage` — the host's ``cols_vector`` rows
-  plus PIM-side index maps for high-degree nodes.
+  plus PIM-side index maps for high-degree nodes;
+* :class:`GraphSnapshot` — dirty-flag-cached CSR views of both storages
+  (``to_csr()``), the substrate of the vectorized execution backend in
+  :mod:`repro.engine`.
 """
 
 from repro.core.config import MoctopusConfig
@@ -32,6 +35,7 @@ from repro.core.operators import (
 )
 from repro.core.operator_processor import OperatorProcessor, SmxmWork, UpdateWork
 from repro.core.partitioner import GraphPartitioner
+from repro.core.snapshot import GraphSnapshot
 from repro.core.node_migrator import NodeMigrator
 from repro.core.query_processor import QueryProcessor
 from repro.core.update_processor import UpdateProcessor
@@ -50,6 +54,7 @@ __all__ = [
     "LocalGraphStorage",
     "HeterogeneousGraphStorage",
     "HeteroUpdateOutcome",
+    "GraphSnapshot",
     "SmxmOperator",
     "MwaitOperator",
     "AddOperator",

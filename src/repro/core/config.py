@@ -10,7 +10,10 @@ ablations can sweep them:
 * the detection threshold for "incorrectly partitioned" nodes (a node is
   reported when more than half of its next hops live on other modules);
 * switches to disable labor division or migration, which is how the
-  PIM-hash contrast system and the ablation benches are expressed.
+  PIM-hash contrast system and the ablation benches are expressed;
+* the physical execution backend (``engine``) — the scalar reference
+  engine or the vectorized numpy engine, which are required to agree on
+  every result and every simulated counter.
 """
 
 from __future__ import annotations
@@ -53,12 +56,22 @@ class MoctopusConfig:
     #: Upper bound on migrations applied after one batch query, to keep
     #: migration overhead bounded as the paper intends.
     max_migrations_per_query: int = 4096
+    #: Physical execution backend for batch queries: ``"python"`` (the
+    #: scalar reference engine, exact original semantics) or
+    #: ``"vectorized"`` (numpy columnar frontiers over CSR storage
+    #: snapshots).  Both produce identical results and identical
+    #: simulated statistics; vectorized is much faster wall-clock.
+    engine: str = "python"
 
     def __post_init__(self) -> None:
         if self.pim_placement not in ("radical_greedy", "hash"):
             raise ValueError(
                 "pim_placement must be 'radical_greedy' or 'hash', "
                 f"got {self.pim_placement!r}"
+            )
+        if self.engine not in ("python", "vectorized"):
+            raise ValueError(
+                f"engine must be 'python' or 'vectorized', got {self.engine!r}"
             )
         if not 0.0 < self.misplacement_threshold <= 1.0:
             raise ValueError("misplacement_threshold must be in (0, 1]")

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.snapshot import GraphSnapshot, build_snapshot
 from repro.graph.digraph import DEFAULT_LABEL
 
 #: Growth factor of a ``cols_vector`` when it runs out of capacity.
@@ -100,6 +101,11 @@ class HeterogeneousGraphStorage:
         #: ``row -> list of free positions`` — conceptually on PIM modules.
         self._free_list_map: Dict[int, List[int]] = {}
         self._num_edges = 0
+        #: Cached CSR snapshot; ``None`` whenever a mutation has occurred
+        #: since the last :meth:`to_csr` call (dirty-flag invalidation).
+        self._snapshot: Optional[GraphSnapshot] = None
+        #: Number of snapshot rebuilds performed (testing/diagnostics).
+        self.snapshot_builds = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -170,6 +176,24 @@ class HeterogeneousGraphStorage:
         """Edge existence via the PIM-side ``elem_position_map``."""
         return (src, dst) in self._elem_position_map
 
+    def to_csr(self) -> GraphSnapshot:
+        """CSR snapshot of the host rows (cached until the next mutation).
+
+        Entries appear in ``cols_vector`` position order (the order a
+        host scan streams them); ``working_set_bytes`` is the
+        capacity-based footprint that the host's random-access cost
+        depends on.
+        """
+        if self._snapshot is None:
+            self._snapshot = build_snapshot(
+                [(node, vector.occupied()) for node, vector in self._vectors.items()],
+                bytes_per_entry=BYTES_PER_SLOT,
+                working_set_bytes=max(self.total_bytes(), 1),
+                count_local=False,
+            )
+            self.snapshot_builds += 1
+        return self._snapshot
+
     # ------------------------------------------------------------------
     # Mutation (split between host and PIM, reported in the outcome)
     # ------------------------------------------------------------------
@@ -179,6 +203,7 @@ class HeterogeneousGraphStorage:
             return False
         self._vectors[node] = ColsVector()
         self._free_list_map[node] = list(range(INITIAL_CAPACITY))
+        self._snapshot = None
         return True
 
     def insert_edge(
@@ -205,6 +230,7 @@ class HeterogeneousGraphStorage:
         vector.slots[position] = (dst, label)
         vector.size += 1
         self._num_edges += 1
+        self._snapshot = None
         return HeteroUpdateOutcome(
             applied=True,
             pim_map_lookups=lookups,
@@ -224,6 +250,7 @@ class HeterogeneousGraphStorage:
         self._free_list_map.setdefault(src, []).append(position)
         lookups += 1  # free_list_map release (PIM side).
         self._num_edges -= 1
+        self._snapshot = None
         return HeteroUpdateOutcome(
             applied=True, pim_map_lookups=lookups, host_writes=1
         )
@@ -244,6 +271,7 @@ class HeterogeneousGraphStorage:
         self._vectors[node] = vector
         self._free_list_map[node] = list(range(len(entries), capacity))
         self._num_edges += len(entries)
+        self._snapshot = None
 
     def remove_row(self, node: int) -> List[Tuple[int, int]]:
         """Remove a row entirely and return its entries (demotion path)."""
@@ -255,6 +283,7 @@ class HeterogeneousGraphStorage:
             self._elem_position_map.pop((node, dst), None)
         self._free_list_map.pop(node, None)
         self._num_edges -= len(entries)
+        self._snapshot = None
         return entries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.snapshot import GraphSnapshot, build_snapshot
 from repro.graph.digraph import DEFAULT_LABEL
 from repro.pim.memory import LocalMemory
 
@@ -33,6 +34,11 @@ class LocalGraphStorage:
         self._rows: Dict[int, List[Tuple[int, int]]] = {}
         self._memory = memory
         self._num_edges = 0
+        #: Cached CSR snapshot; ``None`` whenever a mutation has occurred
+        #: since the last :meth:`to_csr` call (dirty-flag invalidation).
+        self._snapshot: Optional[GraphSnapshot] = None
+        #: Number of snapshot rebuilds performed (testing/diagnostics).
+        self.snapshot_builds = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -75,6 +81,7 @@ class LocalGraphStorage:
         if self._memory is not None:
             self._memory.allocate(BYTES_PER_ROW)
         self._rows[node] = []
+        self._snapshot = None
         return True
 
     def add_edge(self, src: int, dst: int, label: int = DEFAULT_LABEL) -> bool:
@@ -84,11 +91,13 @@ class LocalGraphStorage:
         for index, (existing_dst, _) in enumerate(row):
             if existing_dst == dst:
                 row[index] = (dst, label)
+                self._snapshot = None
                 return False
         if self._memory is not None:
             self._memory.allocate(BYTES_PER_ENTRY)
         row.append((dst, label))
         self._num_edges += 1
+        self._snapshot = None
         return True
 
     def remove_edge(self, src: int, dst: int) -> bool:
@@ -102,6 +111,7 @@ class LocalGraphStorage:
                 self._num_edges -= 1
                 if self._memory is not None:
                     self._memory.free(BYTES_PER_ENTRY)
+                self._snapshot = None
                 return True
         return False
 
@@ -117,6 +127,7 @@ class LocalGraphStorage:
         self._num_edges -= len(row)
         if self._memory is not None:
             self._memory.free(BYTES_PER_ROW + len(row) * BYTES_PER_ENTRY)
+        self._snapshot = None
         return row
 
     def insert_row(self, node: int, entries: List[Tuple[int, int]]) -> None:
@@ -127,6 +138,28 @@ class LocalGraphStorage:
             self._memory.allocate(BYTES_PER_ROW + len(entries) * BYTES_PER_ENTRY)
         self._rows[node] = list(entries)
         self._num_edges += len(entries)
+        self._snapshot = None
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def to_csr(self) -> GraphSnapshot:
+        """CSR snapshot of this segment (cached until the next mutation).
+
+        The snapshot carries this storage's byte-accounting constant and
+        the per-row local-destination counts that misplacement detection
+        uses, so the vectorized engine can charge identical simulated
+        work to the scalar path.
+        """
+        if self._snapshot is None:
+            self._snapshot = build_snapshot(
+                list(self._rows.items()),
+                bytes_per_entry=BYTES_PER_ENTRY,
+                working_set_bytes=max(self.storage_bytes, 1),
+                count_local=True,
+            )
+            self.snapshot_builds += 1
+        return self._snapshot
 
     # ------------------------------------------------------------------
     # Query access

@@ -112,7 +112,11 @@ class NodeMigrator:
             Number of nodes actually migrated.
         """
         migrated = 0
-        for node in list(self._pending):
+        # Sorted by node id so the outcome is independent of report
+        # order: the execution engines discover misplaced nodes in
+        # different orders, but headroom checks (and the migration limit)
+        # must resolve identically for every backend.
+        for node in sorted(self._pending):
             if migrated >= limit:
                 break
             local, remote = self._pending.pop(node)

@@ -15,10 +15,11 @@ detection with query processing exactly as Section 3.2.2 describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.local_storage import BYTES_PER_ENTRY, LocalGraphStorage
 from repro.rpq.automaton import DFA
+from repro.rpq.query import ContextSet
 
 
 @dataclass
@@ -63,11 +64,11 @@ class OperatorProcessor:
     # ------------------------------------------------------------------
     def process_smxm(
         self,
-        frontier: Dict[int, Set[object]],
+        frontier: Dict[int, ContextSet],
         dfa: Optional[DFA] = None,
         label_names: Optional[Dict[int, str]] = None,
         detect_misplacement: bool = True,
-    ) -> Tuple[Dict[int, Set[object]], SmxmWork]:
+    ) -> Tuple[Dict[int, ContextSet], SmxmWork]:
         """Expand ``frontier`` against the local adjacency segment.
 
         Parameters
@@ -90,7 +91,7 @@ class OperatorProcessor:
             ``produced`` maps destination node to the set of contexts now
             sitting on it; ``work`` holds the counters to charge.
         """
-        produced: Dict[int, Set[object]] = {}
+        produced: Dict[int, ContextSet] = {}
         work = SmxmWork()
         for node, contexts in frontier.items():
             next_hops = self.storage.next_hops_with_labels(node)

@@ -1,58 +1,47 @@
-"""The Query Processor: batch RPQ execution across host and PIM modules.
+"""The Query Processor: a thin coordinator over the execution engines.
 
-The processor lowers a query into a matrix-based logical plan
-(:mod:`repro.rpq.planner`) and executes it as a sequence of
-bulk-synchronous phases on the simulated platform:
+The processor's job is planning and delegation, not data movement:
 
-1. **dispatch** — the batch's source nodes are packed into ``smxm``
-   operators and shipped to the modules that own them (CPC traffic);
-   host-owned sources stay on the host.
-2. **smxm** (one phase per hop) — every module expands the frontier
-   items it owns against its local adjacency segment, in parallel; the
-   host expands frontier items sitting on high-degree nodes by streaming
-   their contiguous ``cols_vector``.  Produced frontier items are then
-   routed to the owner of their destination node: items that stay on the
-   producing module are free, items crossing to another module pay IPC
-   (host-forwarded), items moving to or from the host pay CPC.  This is
-   where partitioning quality turns into time.
-3. **mwait** — every module returns its share of the final frontier to
-   the host (CPC), and the host reduces the per-query destination sets
-   of the answer matrix.
+1. a query is lowered into a matrix-based logical plan
+   (:mod:`repro.rpq.planner`) — ``k`` expand steps plus a reduce for the
+   paper's k-hop workload, a DFA-guided fixpoint for general RPQs;
+2. the logical plan is lowered again into a
+   :class:`~repro.engine.physical.PhysicalPlan` of bulk-synchronous
+   dispatch / expand / route / reduce operators;
+3. the physical plan is handed to the
+   :class:`~repro.engine.base.ExecutionEngine` selected by
+   ``MoctopusConfig.engine`` — the scalar ``"python"`` backend or the
+   numpy ``"vectorized"`` backend — which executes it on the simulated
+   platform and returns the answer matrix plus the execution statistics.
 
-The same machinery executes general RPQs by carrying ``(query row,
-automaton state)`` contexts instead of bare query rows and accumulating
-destinations whenever an accepting state is reached.
-
-Misplacement reports produced by the modules during step 2 are handed to
-the node migrator after the answer is complete, so migration overhead
-never sits on the query's critical path (it is still charged, in a
-separate operation, by :meth:`repro.core.system.Moctopus.run_maintenance`).
+Both backends implement the same operator semantics (see
+:mod:`repro.engine`): the smxm phases where partitioning quality turns
+into time, the mwait reduction, and the misplacement reports handed to
+the node migrator off the query's critical path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import MoctopusConfig
 from repro.core.hetero_storage import HeterogeneousGraphStorage
-from repro.core.local_storage import BYTES_PER_ENTRY, LocalGraphStorage
+from repro.core.local_storage import LocalGraphStorage
 from repro.core.node_migrator import NodeMigrator
 from repro.core.operator_processor import OperatorProcessor
-from repro.core.operators import BYTES_PER_FRONTIER_ITEM, OPERATOR_HEADER_BYTES
 from repro.core.partitioner import GraphPartitioner
-from repro.partition.base import HOST_PARTITION
+from repro.engine.base import EngineRuntime, ExecutionEngine, Frontier, create_engine
+from repro.engine.physical import lower_plan
 from repro.pim.stats import ExecutionStats
-from repro.pim.system import OperationContext, PIMSystem
-from repro.rpq.automaton import DFA
-from repro.rpq.planner import ExpandStep, FixpointStep, LogicalPlan, plan_query
+from repro.pim.system import PIMSystem
+from repro.rpq.planner import LogicalPlan, plan_query
 from repro.rpq.query import BatchResult, KHopQuery, RPQuery
 
-#: Type of a frontier: owner partition -> node -> set of query contexts.
-Frontier = Dict[int, Dict[int, Set[object]]]
+__all__ = ["QueryProcessor", "Frontier"]
 
 
 class QueryProcessor:
-    """Executes batch path queries on the simulated Moctopus system."""
+    """Plans batch path queries and delegates them to an execution engine."""
 
     def __init__(
         self,
@@ -64,319 +53,68 @@ class QueryProcessor:
         operator_processors: List[OperatorProcessor],
         node_migrator: NodeMigrator,
         label_names: Optional[Dict[int, str]] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self._config = config
-        self._pim = pim_system
-        self._partitioner = partitioner
-        self._module_storages = module_storages
-        self._host_storage = host_storage
-        self._processors = operator_processors
-        self._migrator = node_migrator
-        self._label_names = label_names or {}
+        self._runtime = EngineRuntime(
+            config=config,
+            pim=pim_system,
+            partitioner=partitioner,
+            module_storages=module_storages,
+            host_storage=host_storage,
+            processors=operator_processors,
+            migrator=node_migrator,
+            label_names=label_names or {},
+        )
+        self.engine: ExecutionEngine = create_engine(
+            engine or config.engine, self._runtime
+        )
+
+    @property
+    def engine_name(self) -> str:
+        """Name of the active execution backend."""
+        return self.engine.name
+
+    def use_engine(self, name: str) -> None:
+        """Swap the execution backend (used by benchmarks and tests)."""
+        self.engine = create_engine(name, self._runtime)
 
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
     def execute_khop(self, query: KHopQuery) -> Tuple[BatchResult, ExecutionStats]:
         """Execute a batch k-hop query (the paper's workload)."""
-        plan = plan_query(query)
-        return self._execute(plan, query.sources, dfa=None)
+        return self._run(plan_query(query), query.sources)
 
     def execute_rpq(self, query: RPQuery) -> Tuple[BatchResult, ExecutionStats]:
         """Execute a general regular path query."""
-        plan = plan_query(query)
-        return self._execute(plan, query.sources, dfa=plan.dfa)
+        return self._run(plan_query(query), query.sources)
 
     # ------------------------------------------------------------------
-    # Plan execution
+    # Lowering and delegation
     # ------------------------------------------------------------------
-    def _owner(self, node: int) -> Optional[int]:
-        return self._partitioner.partition_of(node)
-
-    def _execute(
-        self,
-        plan: LogicalPlan,
-        sources: List[int],
-        dfa: Optional[DFA],
+    def _run(
+        self, plan: LogicalPlan, sources: List[int]
     ) -> Tuple[BatchResult, ExecutionStats]:
-        op = self._pim.begin_operation()
-        results: List[Set[int]] = [set() for _ in sources]
-        accumulate = plan.accumulate_results
-
-        frontier, skipped = self._build_initial_frontier(sources, dfa, results, accumulate)
-        with op.phase("dispatch"):
-            self._charge_dispatch(op, frontier)
-        op.add_counter("batch_size", len(sources))
-        op.add_counter("unknown_sources", skipped)
-
-        seen: Set[Tuple[int, object]] = set()
-        if accumulate:
-            for partition_frontier in frontier.values():
-                for node, contexts in partition_frontier.items():
-                    for context in contexts:
-                        seen.add((node, context))
-
-        step_index = 0
-        for step in plan.steps:
-            if isinstance(step, ExpandStep):
-                step_index += 1
-                frontier = self._run_expansion_phase(
-                    op, frontier, dfa, results, accumulate, seen,
-                    phase_name=f"smxm {step_index}",
-                )
-                if not frontier:
-                    break
-            elif isinstance(step, FixpointStep):
-                max_iterations = step.max_iterations or self._max_fixpoint_iterations()
-                for iteration in range(max_iterations):
-                    step_index += 1
-                    frontier = self._run_expansion_phase(
-                        op, frontier, dfa, results, accumulate, seen,
-                        phase_name=f"smxm fixpoint {iteration + 1}",
-                    )
-                    if not frontier:
-                        break
-                frontier = {}
-            else:  # ReduceStep
-                self._run_reduce_phase(op, frontier, results, accumulate, dfa)
-
-        stats = op.finish()
-        stats.add_counter(
-            "results", sum(len(destinations) for destinations in results)
+        physical = lower_plan(
+            plan,
+            default_fixpoint_iterations=self._max_fixpoint_iterations(plan),
         )
-        return BatchResult(sources=list(sources), destinations=results), stats
+        return self.engine.execute(physical, sources)
 
-    def _max_fixpoint_iterations(self) -> int:
-        stored_rows = sum(storage.num_rows for storage in self._module_storages)
-        stored_rows += self._host_storage.num_rows
-        return max(1, stored_rows)
+    def _max_fixpoint_iterations(self, plan: LogicalPlan) -> int:
+        """Bound on Kleene-closure iterations: rows x automaton states.
 
-    # ------------------------------------------------------------------
-    # Frontier construction and dispatch
-    # ------------------------------------------------------------------
-    def _build_initial_frontier(
-        self,
-        sources: List[int],
-        dfa: Optional[DFA],
-        results: List[Set[int]],
-        accumulate: bool,
-    ) -> Tuple[Frontier, int]:
-        frontier: Frontier = {}
-        skipped = 0
-        for row, source in enumerate(sources):
-            owner = self._owner(source)
-            if owner is None:
-                skipped += 1
-                continue
-            context: object
-            if dfa is None:
-                context = row
-            else:
-                context = (row, dfa.start)
-                if accumulate and dfa.is_accepting(dfa.start):
-                    results[row].add(source)
-            frontier.setdefault(owner, {}).setdefault(source, set()).add(context)
-        return frontier, skipped
-
-    def _charge_dispatch(self, op: OperationContext, frontier: Frontier) -> None:
-        total_items = 0
-        dispatched_items = 0
-        for partition, partition_frontier in frontier.items():
-            items = sum(len(contexts) for contexts in partition_frontier.values())
-            total_items += items
-            if partition != HOST_PARTITION:
-                dispatched_items += items
-        if dispatched_items:
-            # The smxm operators for every module ship in one rank-level
-            # batched scatter.
-            op.cpc_transfer(
-                OPERATOR_HEADER_BYTES + dispatched_items * BYTES_PER_FRONTIER_ITEM,
-                num_transfers=1,
-            )
-        op.host.process_items(total_items)
-
-    # ------------------------------------------------------------------
-    # Expansion phases
-    # ------------------------------------------------------------------
-    def _run_expansion_phase(
-        self,
-        op: OperationContext,
-        frontier: Frontier,
-        dfa: Optional[DFA],
-        results: List[Set[int]],
-        accumulate: bool,
-        seen: Set[Tuple[int, object]],
-        phase_name: str,
-    ) -> Frontier:
-        next_frontier: Frontier = {}
-        total_cpc_items = 0
-        total_ipc_items = 0
-        with op.phase(phase_name):
-            for partition, partition_frontier in frontier.items():
-                if partition == HOST_PARTITION:
-                    produced = self._expand_on_host(op, partition_frontier, dfa)
-                else:
-                    produced = self._expand_on_module(op, partition, partition_frontier, dfa)
-                cpc_items, ipc_items = self._route_produced(
-                    op, partition, produced, next_frontier, results, dfa,
-                    accumulate, seen,
-                )
-                total_cpc_items += cpc_items
-                total_ipc_items += ipc_items
-            # Frontier hand-offs are rank-level bulk transfers: one batched
-            # gather/scatter pair moves every crossing item of the phase, so
-            # only the byte volume — controlled by partition locality —
-            # depends on how many items crossed.
-            if total_cpc_items:
-                op.cpc_transfer(
-                    total_cpc_items * BYTES_PER_FRONTIER_ITEM, num_transfers=1
-                )
-            if total_ipc_items:
-                op.ipc_transfer(
-                    total_ipc_items * BYTES_PER_FRONTIER_ITEM, num_transfers=1
-                )
-        return next_frontier
-
-    def _expand_on_module(
-        self,
-        op: OperationContext,
-        module_id: int,
-        partition_frontier: Dict[int, Set[object]],
-        dfa: Optional[DFA],
-    ) -> Dict[int, Set[object]]:
-        processor = self._processors[module_id]
-        module = op.module(module_id)
-        module.launch_kernel()
-        detect = self._config.enable_migration
-        produced, work = processor.process_smxm(
-            partition_frontier,
-            dfa=dfa,
-            label_names=self._label_names,
-            detect_misplacement=detect,
-        )
-        module.random_accesses(work.rows_touched)
-        module.stream_bytes(work.bytes_streamed)
-        module.process_items(work.items_processed)
-        for node, (local, remote) in work.misplacement_reports.items():
-            self._migrator.report_misplaced(node, local, remote)
-        return produced
-
-    def _expand_on_host(
-        self,
-        op: OperationContext,
-        partition_frontier: Dict[int, Set[object]],
-        dfa: Optional[DFA],
-    ) -> Dict[int, Set[object]]:
-        produced: Dict[int, Set[object]] = {}
-        working_set = max(self._host_storage.total_bytes(), 1)
-        rows_touched = 0
-        streamed = 0
-        items = 0
-        for node, contexts in partition_frontier.items():
-            next_hops = self._host_storage.next_hops_with_labels(node)
-            rows_touched += 1
-            streamed += self._host_storage.row_bytes(node)
-            for destination, label in next_hops:
-                if dfa is None:
-                    items += len(contexts)
-                    produced.setdefault(destination, set()).update(contexts)
-                else:
-                    label_string = self._label_names.get(label, str(label))
-                    for context in contexts:
-                        items += 1
-                        row, state = context
-                        next_state = dfa.step(state, label_string)
-                        if next_state is None:
-                            continue
-                        produced.setdefault(destination, set()).add((row, next_state))
-        op.host.random_accesses(rows_touched, working_set)
-        op.host.stream_bytes(streamed)
-        op.host.process_items(items)
-        return produced
-
-    def _route_produced(
-        self,
-        op: OperationContext,
-        producer: int,
-        produced: Dict[int, Set[object]],
-        next_frontier: Frontier,
-        results: List[Set[int]],
-        dfa: Optional[DFA],
-        accumulate: bool,
-        seen: Set[Tuple[int, object]],
-    ) -> Tuple[int, int]:
-        cpc_items = 0
-        ipc_items: Dict[int, int] = {}
-        for destination, contexts in produced.items():
-            owner = self._owner(destination)
-            if owner is None:
-                # Dangling edge: the destination node has never been
-                # registered (can happen transiently during updates).
-                continue
-            for context in contexts:
-                if accumulate:
-                    key = (destination, context)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    assert dfa is not None
-                    row, state = context
-                    if dfa.is_accepting(state):
-                        results[row].add(destination)
-                next_frontier.setdefault(owner, {}).setdefault(destination, set()).add(context)
-                # Communication for handing the item to its owner.
-                if owner == producer:
-                    continue
-                if producer == HOST_PARTITION or owner == HOST_PARTITION:
-                    cpc_items += 1
-                else:
-                    ipc_items[owner] = ipc_items.get(owner, 0) + 1
-        return cpc_items, sum(ipc_items.values())
-
-    # ------------------------------------------------------------------
-    # Reduction (mwait)
-    # ------------------------------------------------------------------
-    def _run_reduce_phase(
-        self,
-        op: OperationContext,
-        frontier: Frontier,
-        results: List[Set[int]],
-        accumulate: bool,
-        dfa: Optional[DFA] = None,
-    ) -> None:
-        with op.phase("mwait"):
-            total_items = 0
-            gathered_items = 0
-            for partition, partition_frontier in frontier.items():
-                items = sum(len(contexts) for contexts in partition_frontier.values())
-                total_items += items
-                if partition != HOST_PARTITION and items:
-                    gathered_items += items
-                    op.module(partition).process_items(items)
-                    op.module(partition).stream_bytes(items * BYTES_PER_ENTRY)
-            if gathered_items:
-                # One rank-level batched gather brings every module's partial
-                # result back to the host.
-                op.cpc_transfer(
-                    OPERATOR_HEADER_BYTES + gathered_items * BYTES_PER_FRONTIER_ITEM,
-                    num_transfers=1,
-                )
-            # The host concatenates the per-module partial results into the
-            # answer matrix.  Destination nodes are disjoint across modules
-            # (each node has exactly one owner), so no deduplication is
-            # needed and the reduction streams sequentially.
-            op.host.stream_bytes(total_items * BYTES_PER_FRONTIER_ITEM)
-            op.host.process_items(total_items)
-            if accumulate:
-                # Results were accumulated on the fly; the reduce phase only
-                # merges per-module partial sets, already charged above.
-                return
-            for partition_frontier in frontier.values():
-                for node, contexts in partition_frontier.items():
-                    for context in contexts:
-                        if isinstance(context, int):
-                            results[context].add(node)
-                            continue
-                        row, state = context
-                        if dfa is None or dfa.is_accepting(state):
-                            results[row].add(node)
+        A shortest path to any ``(node, state)`` frontier item visits
+        each product-graph vertex at most once, so it is no longer than
+        the number of stored rows times the number of DFA states; the
+        frontier-dedup in both engines then drains the fixpoint as soon
+        as an iteration produces nothing new.
+        """
+        runtime = self._runtime
+        stored_rows = sum(storage.num_rows for storage in runtime.module_storages)
+        stored_rows += runtime.host_storage.num_rows
+        bound = max(1, stored_rows)
+        if plan.dfa is not None:
+            bound *= max(1, plan.dfa.num_states)
+        return bound

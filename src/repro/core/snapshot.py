@@ -1,0 +1,125 @@
+"""Columnar CSR snapshots of the graph storages.
+
+The vectorized execution backend expands frontiers with numpy gathers
+instead of per-node dict lookups, which requires the adjacency segments
+to be available as flat arrays.  Both storage classes
+(:class:`~repro.core.local_storage.LocalGraphStorage` and
+:class:`~repro.core.hetero_storage.HeterogeneousGraphStorage`) expose a
+``to_csr()`` method returning a :class:`GraphSnapshot`; the snapshot is
+cached on the storage and **invalidated by every mutation** (edge
+inserts/deletes through the update processor, row moves through the node
+migrator), so a query always sees the storage's current contents while
+back-to-back queries between updates reuse the same arrays.
+
+A snapshot is a *simulation-faithful* view: alongside the CSR topology
+it carries the byte-accounting constants of its storage (hash-map entry
+bytes for PIM segments, ``cols_vector`` slot bytes for the host rows)
+and the per-row count of locally-owned destinations that the paper's
+misplacement detection needs, so the vectorized engine charges exactly
+the same simulated work as the scalar one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class GraphSnapshot:
+    """Immutable CSR view of one storage's adjacency rows.
+
+    Rows are identified by their *global* node ids; ``node_ids`` is
+    sorted so membership and row lookup are ``searchsorted`` calls.
+    """
+
+    def __init__(
+        self,
+        node_ids: np.ndarray,
+        indptr: np.ndarray,
+        dsts: np.ndarray,
+        labels: np.ndarray,
+        local_counts: np.ndarray,
+        bytes_per_entry: int,
+        working_set_bytes: int,
+    ) -> None:
+        self.node_ids = node_ids
+        self.indptr = indptr
+        self.dsts = dsts
+        self.labels = labels
+        #: Per row: how many of its destinations are rows of the *same*
+        #: storage (the "local" side of misplacement detection).
+        self.local_counts = local_counts
+        #: Bytes streamed per adjacency entry when a row is scanned.
+        self.bytes_per_entry = bytes_per_entry
+        #: Size of the structure for working-set-dependent access costs
+        #: (the host's ``cols_vector`` capacity; a module's segment bytes).
+        self.working_set_bytes = working_set_bytes
+        self.degrees = np.diff(indptr)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of adjacency rows in the snapshot."""
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of adjacency entries in the snapshot."""
+        return len(self.dsts)
+
+    def lookup(self, nodes: np.ndarray) -> np.ndarray:
+        """Row index of each node id in ``nodes`` (``-1`` when absent)."""
+        if self.num_rows == 0:
+            return np.full(len(nodes), -1, dtype=np.int64)
+        positions = np.searchsorted(self.node_ids, nodes)
+        positions = np.minimum(positions, self.num_rows - 1)
+        found = self.node_ids[positions] == nodes
+        return np.where(found, positions, -1)
+
+
+def build_snapshot(
+    rows: List[Tuple[int, List[Tuple[int, int]]]],
+    bytes_per_entry: int,
+    working_set_bytes: int,
+    count_local: bool,
+) -> GraphSnapshot:
+    """Freeze ``rows`` (``(node, [(dst, label), ...])`` pairs) into CSR form.
+
+    ``rows`` need not be sorted; they are sorted by node id here.  When
+    ``count_local`` is set, each row's destinations are checked for
+    membership in the snapshot's own row set (the misplacement-detection
+    ``local`` counter); host snapshots skip it — the host never detects
+    misplacement.
+    """
+    rows = sorted(rows, key=lambda item: item[0])
+    node_ids = np.fromiter((node for node, _ in rows), dtype=np.int64, count=len(rows))
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    dst_chunks: List[int] = []
+    label_chunks: List[int] = []
+    for index, (_, entries) in enumerate(rows):
+        for dst, label in entries:
+            dst_chunks.append(dst)
+            label_chunks.append(label)
+        indptr[index + 1] = len(dst_chunks)
+    dsts = np.asarray(dst_chunks, dtype=np.int64)
+    labels = np.asarray(label_chunks, dtype=np.int64)
+    if count_local and len(rows) and len(dsts):
+        positions = np.searchsorted(node_ids, dsts)
+        positions = np.minimum(positions, len(node_ids) - 1)
+        local_flags = (node_ids[positions] == dsts).astype(np.int64)
+        # Per-row segment sums via prefix sums: exact for empty rows
+        # anywhere (reduceat would mishandle out-of-bounds segment
+        # starts produced by trailing empty rows).
+        prefix = np.concatenate([[0], np.cumsum(local_flags)])
+        local_counts = prefix[indptr[1:]] - prefix[indptr[:-1]]
+    else:
+        local_counts = np.zeros(len(rows), dtype=np.int64)
+    return GraphSnapshot(
+        node_ids=node_ids,
+        indptr=indptr,
+        dsts=dsts,
+        labels=labels,
+        local_counts=local_counts,
+        bytes_per_entry=bytes_per_entry,
+        working_set_bytes=working_set_bytes,
+    )

@@ -249,6 +249,20 @@ class Moctopus:
         """Number of PIM modules in the simulated platform."""
         return self.pim.num_modules
 
+    @property
+    def engine_name(self) -> str:
+        """Name of the active query execution backend."""
+        return self._query_processor.engine_name
+
+    def use_engine(self, name: str) -> None:
+        """Swap the query execution backend (``"python"`` / ``"vectorized"``).
+
+        Both backends produce identical results and identical simulated
+        statistics on the same system state; swapping mid-run is safe
+        and is how the engine benchmarks compare wall-clock cost.
+        """
+        self._query_processor.use_engine(name)
+
     def partition_of(self, node: int) -> Optional[int]:
         """Partition of ``node`` (``-1`` = host)."""
         return self._partitioner.partition_of(node)

@@ -1,0 +1,58 @@
+"""The physical execution layer: swappable batch-RPQ backends.
+
+This package separates *what* a query does from *how* it runs:
+
+* :mod:`repro.engine.physical` — the :class:`PhysicalPlan` operator
+  vocabulary (dispatch / expand / route / reduce) lowered from the
+  logical planner's matrix plans;
+* :mod:`repro.engine.base` — the :class:`ExecutionEngine` protocol, the
+  :class:`EngineRuntime` wiring bundle and the backend factory;
+* :mod:`repro.engine.python_engine` — the scalar reference backend
+  (exact original semantics);
+* :mod:`repro.engine.vectorized` — the numpy backend expanding columnar
+  frontiers against CSR storage snapshots.
+
+Backends are interchangeable by contract: identical results *and*
+identical simulated work counters, so ``MoctopusConfig.engine`` can flip
+between them without perturbing any figure of the reproduction.
+"""
+
+from repro.engine.base import (
+    ENGINE_NAMES,
+    EngineRuntime,
+    ExecutionEngine,
+    Frontier,
+    create_engine,
+)
+from repro.engine.physical import (
+    DispatchOp,
+    ExpandOp,
+    FixpointOp,
+    PhysicalOp,
+    PhysicalPlan,
+    ReduceOp,
+    RouteOp,
+    lower_plan,
+    run_plan,
+)
+from repro.engine.python_engine import PythonEngine
+from repro.engine.vectorized import VectorizedEngine
+
+__all__ = [
+    "ENGINE_NAMES",
+    "EngineRuntime",
+    "ExecutionEngine",
+    "Frontier",
+    "create_engine",
+    "PhysicalPlan",
+    "PhysicalOp",
+    "DispatchOp",
+    "ExpandOp",
+    "RouteOp",
+    "FixpointOp",
+    "ReduceOp",
+    "lower_plan",
+    "run_plan",
+    "PythonEngine",
+    "VectorizedEngine",
+]

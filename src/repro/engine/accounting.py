@@ -1,0 +1,69 @@
+"""Shared simulated-cost accounting for the execution backends.
+
+The dispatch and mwait charge formulas are the parity contract between
+the engines: every backend must charge exactly these amounts for the
+same per-partition item counts, so the formulas live here once instead
+of being re-stated per frontier representation.  A backend computes
+*how many* frontier items sit on each partition — that part is
+representation-specific — and hands the counts to these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.local_storage import BYTES_PER_ENTRY
+from repro.core.operators import BYTES_PER_FRONTIER_ITEM, OPERATOR_HEADER_BYTES
+from repro.partition.base import HOST_PARTITION
+from repro.pim.system import OperationContext
+
+
+def charge_dispatch(
+    op: OperationContext, items_per_partition: Dict[int, int]
+) -> None:
+    """Charge the dispatch phase for an initial frontier.
+
+    The smxm operators for every module ship in one rank-level batched
+    CPC scatter (host-owned sources stay put); the host pays per-item
+    packing work for the whole batch.
+    """
+    total_items = sum(items_per_partition.values())
+    dispatched_items = sum(
+        items
+        for partition, items in items_per_partition.items()
+        if partition != HOST_PARTITION
+    )
+    if dispatched_items:
+        op.cpc_transfer(
+            OPERATOR_HEADER_BYTES + dispatched_items * BYTES_PER_FRONTIER_ITEM,
+            num_transfers=1,
+        )
+    op.host.process_items(total_items)
+
+
+def charge_reduce(
+    op: OperationContext, items_per_partition: Dict[int, int]
+) -> None:
+    """Charge the ``mwait`` phase for a final frontier.
+
+    Every module streams out and processes its share of the answer, one
+    rank-level batched CPC gather brings the partial results back, and
+    the host concatenates them (destination nodes are disjoint across
+    owners, so the reduction streams sequentially with no dedup).
+    """
+    total_items = 0
+    gathered_items = 0
+    for partition in sorted(items_per_partition):
+        items = items_per_partition[partition]
+        total_items += items
+        if partition != HOST_PARTITION and items:
+            gathered_items += items
+            op.module(partition).process_items(items)
+            op.module(partition).stream_bytes(items * BYTES_PER_ENTRY)
+    if gathered_items:
+        op.cpc_transfer(
+            OPERATOR_HEADER_BYTES + gathered_items * BYTES_PER_FRONTIER_ITEM,
+            num_transfers=1,
+        )
+    op.host.stream_bytes(total_items * BYTES_PER_FRONTIER_ITEM)
+    op.host.process_items(total_items)

@@ -1,0 +1,109 @@
+"""The execution-engine protocol and the wiring both backends share.
+
+The query processor lowers a logical plan into a
+:class:`~repro.engine.physical.PhysicalPlan` and hands it to an
+:class:`ExecutionEngine`.  Engines are interchangeable: every backend
+must produce identical :class:`~repro.rpq.query.BatchResult`s *and*
+identical simulated work counters (rows touched, bytes streamed, items
+processed, channel traffic) for the same plan on the same system state —
+the paper's figures are derived from those counters, so a faster backend
+must not change what the simulation measures.
+
+:class:`EngineRuntime` bundles the system components an engine needs;
+:func:`create_engine` maps the ``MoctopusConfig.engine`` knob to a
+backend instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.engine.physical import PhysicalPlan
+from repro.partition.base import HOST_PARTITION
+from repro.pim.stats import ExecutionStats
+from repro.pim.system import PIMSystem
+from repro.rpq.query import BatchResult, ContextSet
+
+if TYPE_CHECKING:  # pragma: no cover — type-only imports, see note below.
+    from repro.core.config import MoctopusConfig
+    from repro.core.hetero_storage import HeterogeneousGraphStorage
+    from repro.core.local_storage import LocalGraphStorage
+    from repro.core.node_migrator import NodeMigrator
+    from repro.core.operator_processor import OperatorProcessor
+    from repro.core.partitioner import GraphPartitioner
+    from repro.core.snapshot import GraphSnapshot
+
+# NOTE: the ``repro.core`` imports above are type-only on purpose.  The
+# query processor (a ``repro.core`` module) imports this module, so a
+# runtime import of ``repro.core`` here would deadlock whichever package
+# is imported second; the runtime only ever touches these objects
+# through the :class:`EngineRuntime` fields it is handed.
+
+#: A frontier as the scalar backend sees it: owner partition -> node ->
+#: set of query contexts.
+Frontier = Dict[int, Dict[int, ContextSet]]
+
+#: Names accepted by :func:`create_engine` / ``MoctopusConfig.engine``.
+ENGINE_NAMES = ("python", "vectorized")
+
+
+@dataclass
+class EngineRuntime:
+    """The system components an execution engine operates on."""
+
+    config: MoctopusConfig
+    pim: PIMSystem
+    partitioner: GraphPartitioner
+    module_storages: List[LocalGraphStorage]
+    host_storage: HeterogeneousGraphStorage
+    processors: List[OperatorProcessor]
+    migrator: NodeMigrator
+    label_names: Dict[int, str] = field(default_factory=dict)
+
+    def owner(self, node: int) -> Optional[int]:
+        """Partition owning ``node`` (``None`` when unknown)."""
+        return self.partitioner.partition_of(node)
+
+    def snapshot_of(self, partition: int) -> GraphSnapshot:
+        """CSR snapshot of the storage backing ``partition``."""
+        if partition == HOST_PARTITION:
+            return self.host_storage.to_csr()
+        return self.module_storages[partition].to_csr()
+
+
+@runtime_checkable
+class ExecutionEngine(Protocol):
+    """A physical-plan executor (one of the swappable backends)."""
+
+    #: Engine name as selected by ``MoctopusConfig.engine``.
+    name: str
+
+    def execute(
+        self, plan: PhysicalPlan, sources: List[int]
+    ) -> Tuple[BatchResult, ExecutionStats]:
+        """Run ``plan`` for the batch ``sources`` on the simulated system."""
+        ...
+
+
+def create_engine(name: str, runtime: EngineRuntime) -> ExecutionEngine:
+    """Instantiate the backend selected by ``name``."""
+    if name == "python":
+        from repro.engine.python_engine import PythonEngine
+
+        return PythonEngine(runtime)
+    if name == "vectorized":
+        from repro.engine.vectorized import VectorizedEngine
+
+        return VectorizedEngine(runtime)
+    raise ValueError(
+        f"unknown execution engine {name!r}; expected one of {ENGINE_NAMES}"
+    )

@@ -1,0 +1,172 @@
+"""Physical plans: what an execution backend actually runs.
+
+The logical planner (:mod:`repro.rpq.planner`) describes a query as
+matrix algebra; a :class:`PhysicalPlan` lowers that description onto the
+simulated platform's bulk-synchronous operator vocabulary:
+
+* :class:`DispatchOp` — pack the batch's source nodes into per-owner
+  ``smxm`` operators and ship them (one CPC scatter);
+* :class:`ExpandOp` — one ``smxm`` phase: every owner expands its share
+  of the frontier against its adjacency segment;
+* :class:`RouteOp` — hand every produced frontier item to the owner of
+  its destination node (free locally, IPC across modules, CPC to/from
+  the host) — always paired with the preceding :class:`ExpandOp` inside
+  the same bulk-synchronous phase;
+* :class:`FixpointOp` — an expand/route pair repeated until the frontier
+  drains (Kleene closure), bounded by ``max_iterations``;
+* :class:`ReduceOp` — the final ``mwait``: gather per-owner partial
+  results and reduce them into the answer matrix.
+
+The lowering is backend-agnostic: both the scalar and the vectorized
+engines execute the same :class:`PhysicalPlan`, which is what makes
+their simulated work counters comparable item for item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.rpq.automaton import DFA
+from repro.rpq.planner import ExpandStep, FixpointStep, LogicalPlan
+
+
+@dataclass(frozen=True)
+class DispatchOp:
+    """Build the initial frontier and ship per-owner ``smxm`` operators."""
+
+
+@dataclass(frozen=True)
+class ExpandOp:
+    """One ``smxm`` frontier expansion, executed as its own phase."""
+
+    phase_name: str
+
+
+@dataclass(frozen=True)
+class RouteOp:
+    """Hand produced frontier items to their owners (same phase as expand)."""
+
+
+@dataclass(frozen=True)
+class FixpointOp:
+    """Expand/route repeatedly until the frontier drains."""
+
+    #: Phase names are ``"smxm fixpoint <i>"`` with ``i`` starting at 1.
+    max_iterations: int
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """The ``mwait`` operator: gather partial results into the answer."""
+
+
+PhysicalOp = Union[DispatchOp, ExpandOp, RouteOp, FixpointOp, ReduceOp]
+
+
+@dataclass
+class PhysicalPlan:
+    """A lowered, backend-agnostic operator sequence for one batch query."""
+
+    ops: List[PhysicalOp] = field(default_factory=list)
+    #: Whether accepting frontier items accumulate into the result as
+    #: they are reached (general RPQs) or only the final frontier counts
+    #: (pure k-hop / fixed-length plans).
+    accumulate_results: bool = False
+    #: Automaton carried by the frontier contexts (``None`` = bare rows).
+    dfa: Optional[DFA] = None
+
+    def explain(self) -> str:
+        """Human-readable operator listing (one line per op)."""
+        lines = []
+        for index, op in enumerate(self.ops):
+            if isinstance(op, DispatchOp):
+                lines.append(f"{index}: dispatch sources")
+            elif isinstance(op, ExpandOp):
+                lines.append(f"{index}: expand [{op.phase_name}]")
+            elif isinstance(op, RouteOp):
+                lines.append(f"{index}: route produced items")
+            elif isinstance(op, FixpointOp):
+                lines.append(
+                    f"{index}: fixpoint expand/route (<= {op.max_iterations} iterations)"
+                )
+            else:
+                lines.append(f"{index}: reduce (mwait)")
+        return "\n".join(lines)
+
+
+def run_plan(
+    plan: PhysicalPlan,
+    *,
+    dispatch: Callable[[], None],
+    expand_route: Callable[[str], bool],
+    clear_frontier: Callable[[], None],
+    reduce: Callable[[], None],
+) -> None:
+    """Drive a physical plan through representation-agnostic callbacks.
+
+    This is the single interpreter every backend shares; only the
+    frontier math behind the callbacks differs per engine.
+
+    * ``dispatch()`` builds the initial frontier and charges the CPC
+      scatter;
+    * ``expand_route(phase_name)`` runs one fused expand+route phase and
+      returns whether the frontier is still non-empty;
+    * ``clear_frontier()`` empties the frontier after a fixpoint drains;
+    * ``reduce()`` runs the final ``mwait`` phase.
+
+    When a plain expand phase drains the frontier, the rest of the plan
+    — including the reduce — is skipped, matching the bulk-synchronous
+    schedule the scalar engine has always used.
+    """
+    index = 0
+    while index < len(plan.ops):
+        physical_op = plan.ops[index]
+        if isinstance(physical_op, DispatchOp):
+            dispatch()
+        elif isinstance(physical_op, ExpandOp):
+            if index + 1 >= len(plan.ops) or not isinstance(
+                plan.ops[index + 1], RouteOp
+            ):
+                raise ValueError("every ExpandOp must be paired with a RouteOp")
+            index += 1  # The paired route runs inside the same phase.
+            if not expand_route(physical_op.phase_name):
+                return
+        elif isinstance(physical_op, FixpointOp):
+            for iteration in range(physical_op.max_iterations):
+                if not expand_route(f"smxm fixpoint {iteration + 1}"):
+                    break
+            clear_frontier()
+        elif isinstance(physical_op, ReduceOp):
+            reduce()
+        else:
+            raise TypeError(f"unknown physical operator {physical_op!r}")
+        index += 1
+
+
+def lower_plan(plan: LogicalPlan, default_fixpoint_iterations: int) -> PhysicalPlan:
+    """Lower a :class:`LogicalPlan` into a :class:`PhysicalPlan`.
+
+    ``default_fixpoint_iterations`` bounds Kleene closures whose logical
+    step carries no explicit bound; the query processor passes the total
+    number of stored rows (a path revisiting no node is no longer than
+    that).
+    """
+    ops: List[PhysicalOp] = [DispatchOp()]
+    expansion_index = 0
+    for step in plan.steps:
+        if isinstance(step, ExpandStep):
+            expansion_index += 1
+            ops.append(ExpandOp(phase_name=f"smxm {expansion_index}"))
+            ops.append(RouteOp())
+        elif isinstance(step, FixpointStep):
+            ops.append(
+                FixpointOp(
+                    max_iterations=step.max_iterations or default_fixpoint_iterations
+                )
+            )
+        else:
+            ops.append(ReduceOp())
+    return PhysicalPlan(
+        ops=ops, accumulate_results=plan.accumulate_results, dfa=plan.dfa
+    )

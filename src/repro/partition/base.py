@@ -38,6 +38,10 @@ class PartitionMap:
         self._assignment: Dict[int, int] = {}
         self._sizes: Dict[int, int] = {partition: 0 for partition in range(num_partitions)}
         self._sizes[HOST_PARTITION] = 0
+        #: Bumped on every placement change; cheap staleness check for
+        #: derived lookup structures (the vectorized engine's owner
+        #: vector caches against it).
+        self.version = 0
 
     def assign(self, node: int, partition: int) -> None:
         """Place ``node`` on ``partition`` (moving it if already placed)."""
@@ -47,6 +51,7 @@ class PartitionMap:
             self._sizes[previous] -= 1
         self._assignment[node] = partition
         self._sizes[partition] += 1
+        self.version += 1
 
     def partition_of(self, node: int) -> Optional[int]:
         """Partition of ``node`` or ``None`` when unassigned."""

@@ -29,6 +29,8 @@ from repro.rpq.regex import (
 from repro.rpq.automaton import DFA, EPSILON, NFA, build_dfa, build_nfa, determinize
 from repro.rpq.query import (
     BatchResult,
+    Context,
+    ContextSet,
     KHopQuery,
     RPQuery,
     make_batch_khop,
@@ -64,6 +66,8 @@ __all__ = [
     "RPQuery",
     "KHopQuery",
     "BatchResult",
+    "Context",
+    "ContextSet",
     "make_batch_khop",
     "random_source_batch",
     "LogicalPlan",

@@ -17,10 +17,20 @@ expression, matching the ``ans`` matrix of the paper's Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
 
 from repro.rpq.automaton import DFA, build_dfa
 from repro.rpq.regex import RegexNode, khop_expression, parse_path_expression
+
+#: One in-flight query context carried by a frontier item: the batch row
+#: for pure k-hop plans, or a ``(row, automaton_state)`` pair for general
+#: RPQs.  Every layer of the query path — the query processor, the
+#: per-module operator processor and the execution engines — shares this
+#: type instead of an untyped ``object``.
+Context = Union[int, Tuple[int, int]]
+
+#: The set of contexts sitting on one graph node of a frontier.
+ContextSet = Set[Context]
 
 
 @dataclass

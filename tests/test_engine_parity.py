@@ -1,0 +1,339 @@
+"""Differential tests: PythonEngine ≡ VectorizedEngine.
+
+The execution backends are interchangeable by contract — identical
+:class:`~repro.rpq.query.BatchResult`s *and* identical simulated
+statistics (time components, channel counters, per-phase PIM times,
+free-form counters) on the same system state.  These tests drive both
+backends through the same randomized workloads, including interleaved
+insert/delete batches that exercise the CSR snapshot invalidation and
+migration passes that exercise deterministic misplacement handling.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Moctopus, MoctopusConfig
+from repro.engine import PythonEngine, VectorizedEngine, create_engine
+from repro.graph import DiGraph, random_graph
+from repro.pim import CostModel
+from repro.rpq import KHopQuery, RPQuery, random_source_batch
+
+
+def stats_fingerprint(stats):
+    """Everything the paper's figures could be derived from."""
+    return (
+        stats.host_time,
+        stats.cpc_time,
+        stats.ipc_time,
+        stats.pim_time,
+        tuple(stats.phase_pim_times),
+        stats.cpc.bytes_moved,
+        stats.cpc.transfers,
+        stats.ipc.bytes_moved,
+        stats.ipc.transfers,
+        dict(stats.counters),
+    )
+
+
+def build_pair(graph, **config_kwargs):
+    """The same graph loaded into one system per backend."""
+    systems = {}
+    for engine in ("python", "vectorized"):
+        config = MoctopusConfig(
+            cost_model=CostModel(num_modules=8), engine=engine, **config_kwargs
+        )
+        systems[engine] = Moctopus.from_graph(graph, config)
+    return systems["python"], systems["vectorized"]
+
+
+def assert_equivalent(outcome_python, outcome_vectorized, context=""):
+    result_python, stats_python = outcome_python
+    result_vectorized, stats_vectorized = outcome_vectorized
+    assert result_python == result_vectorized, f"result mismatch {context}"
+    assert stats_fingerprint(stats_python) == stats_fingerprint(
+        stats_vectorized
+    ), f"stats mismatch {context}"
+
+
+# ----------------------------------------------------------------------
+# Engine selection plumbing
+# ----------------------------------------------------------------------
+def test_config_selects_engine():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    system = Moctopus.from_graph(
+        graph, MoctopusConfig(cost_model=CostModel(num_modules=4))
+    )
+    assert system.engine_name == "python"
+    system.use_engine("vectorized")
+    assert system.engine_name == "vectorized"
+    vectorized = Moctopus.from_graph(
+        graph,
+        MoctopusConfig(cost_model=CostModel(num_modules=4), engine="vectorized"),
+    )
+    assert vectorized.engine_name == "vectorized"
+    assert isinstance(
+        vectorized._query_processor.engine, VectorizedEngine
+    )
+
+
+def test_config_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        MoctopusConfig(engine="fortran")
+    system = Moctopus.from_graph(
+        DiGraph.from_edges([(0, 1)]),
+        MoctopusConfig(cost_model=CostModel(num_modules=4)),
+    )
+    with pytest.raises(ValueError):
+        system.use_engine("fortran")
+
+
+def test_create_engine_factory():
+    graph = DiGraph.from_edges([(0, 1)])
+    system = Moctopus.from_graph(
+        graph, MoctopusConfig(cost_model=CostModel(num_modules=4))
+    )
+    runtime = system._query_processor._runtime
+    assert isinstance(create_engine("python", runtime), PythonEngine)
+    assert isinstance(create_engine("vectorized", runtime), VectorizedEngine)
+    with pytest.raises(ValueError):
+        create_engine("gpu", runtime)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis differential suite
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    hops=st.integers(min_value=1, max_value=4),
+    batch=st.integers(min_value=1, max_value=24),
+)
+def test_khop_parity_on_random_graphs(seed, hops, batch):
+    graph = random_graph(60, 240, seed=seed)
+    python_system, vectorized_system = build_pair(graph)
+    sources = random_source_batch(list(graph.nodes()), batch, seed=seed)
+    assert_equivalent(
+        python_system.batch_khop(sources, hops),
+        vectorized_system.batch_khop(sources, hops),
+        context=f"khop seed={seed} hops={hops}",
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    expression=st.sampled_from([".{1}", ".{2}", ".{3}", ".+", ".*", ".{1,3}"]),
+)
+def test_rpq_parity_on_random_graphs(seed, expression):
+    graph = random_graph(40, 150, seed=seed)
+    python_system, vectorized_system = build_pair(graph)
+    sources = random_source_batch(list(graph.nodes()), 6, seed=seed)
+    query = RPQuery(expression, sources)
+    assert_equivalent(
+        python_system.execute(query),
+        vectorized_system.execute(query),
+        context=f"rpq seed={seed} expr={expression}",
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_labeled_rpq_parity(seed):
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for _ in range(120):
+        graph.add_edge(rng.randrange(30), rng.randrange(30), label=rng.randrange(1, 4))
+    labels = {1: "a", 2: "b", 3: "c"}
+    systems = {}
+    for engine in ("python", "vectorized"):
+        config = MoctopusConfig(cost_model=CostModel(num_modules=8), engine=engine)
+        systems[engine] = Moctopus.from_graph(graph, config, label_names=labels)
+    sources = random_source_batch(list(graph.nodes()), 5, seed=seed)
+    for expression in ("a/b", "(a|b)/c", "a+", "a/b*"):
+        query = RPQuery(expression, sources)
+        assert_equivalent(
+            systems["python"].execute(query),
+            systems["vectorized"].execute(query),
+            context=f"labeled seed={seed} expr={expression}",
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_parity_with_interleaved_updates(seed):
+    """Queries ≡ across engines while inserts/deletes churn the storages.
+
+    This is the CSR-snapshot invalidation test: every update batch
+    dirties storage segments between queries, every query may trigger
+    post-query migrations that move whole rows, and both engines must
+    keep producing identical answers, statistics and placement.
+    """
+    rng = random.Random(seed)
+    graph = random_graph(50, 180, seed=seed)
+    python_system, vectorized_system = build_pair(graph)
+    for step in range(8):
+        kind = rng.choice(["khop", "rpq", "insert", "delete"])
+        if kind == "khop":
+            sources = random_source_batch(list(range(60)), 6, seed=seed + step)
+            hops = rng.randint(1, 3)
+            assert_equivalent(
+                python_system.batch_khop(sources, hops),
+                vectorized_system.batch_khop(sources, hops),
+                context=f"seed={seed} step={step} khop",
+            )
+        elif kind == "rpq":
+            sources = random_source_batch(list(range(50)), 4, seed=seed + step)
+            query = RPQuery(".+", sources)
+            assert_equivalent(
+                python_system.execute(query),
+                vectorized_system.execute(query),
+                context=f"seed={seed} step={step} rpq",
+            )
+        elif kind == "insert":
+            edges = [(rng.randrange(70), rng.randrange(70)) for _ in range(8)]
+            stats_python = python_system.insert_edges(list(edges))
+            stats_vectorized = vectorized_system.insert_edges(list(edges))
+            assert stats_fingerprint(stats_python) == stats_fingerprint(
+                stats_vectorized
+            )
+        else:
+            existing = list(python_system.graph.edges())
+            edges = [rng.choice(existing) for _ in range(5)] if existing else []
+            stats_python = python_system.delete_edges(list(edges))
+            stats_vectorized = vectorized_system.delete_edges(list(edges))
+            assert stats_fingerprint(stats_python) == stats_fingerprint(
+                stats_vectorized
+            )
+        # Placement (including post-query migrations) must stay in step.
+        assert dict(python_system._partitioner.partition_map.items()) == dict(
+            vectorized_system._partitioner.partition_map.items()
+        ), f"placement diverged at seed={seed} step={step}"
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+def test_fixpoint_bound_covers_state_revisits():
+    """Kleene closures whose accepting paths revisit nodes in different
+    automaton states need rows x states iterations, not just rows
+    (regression: a 3-cycle with ``(a/a/a/a)*`` reaches node 2 only at
+    path length 8)."""
+    from repro.rpq import evaluate_rpq
+
+    graph = DiGraph()
+    graph.add_edge(0, 1, label=1)
+    graph.add_edge(1, 2, label=1)
+    graph.add_edge(2, 0, label=1)
+    labels = {1: "a"}
+    query = RPQuery("(a/a/a/a)*", [0])
+    reference = evaluate_rpq(graph, query, label_names=labels)
+    assert reference.destinations_of(0) == {0, 1, 2}
+    for engine in ("python", "vectorized"):
+        config = MoctopusConfig(cost_model=CostModel(num_modules=4), engine=engine)
+        system = Moctopus.from_graph(graph, config, label_names=labels)
+        result, _ = system.execute(query)
+        assert result == reference, engine
+
+
+def test_parity_with_wide_batches():
+    """Batches past 64 rows exercise the multi-word bit-mask path of the
+    vectorized k-hop engine (two+ uint64 words per node)."""
+    graph = random_graph(50, 200, seed=11)
+    python_system, vectorized_system = build_pair(graph)
+    sources = random_source_batch(list(graph.nodes()), 150, seed=11)
+    for hops in (1, 3):
+        assert_equivalent(
+            python_system.batch_khop(sources, hops),
+            vectorized_system.batch_khop(sources, hops),
+            context=f"wide batch hops={hops}",
+        )
+
+
+def test_parity_with_sparse_node_ids():
+    """Huge, sparse node ids exercise the sorted-pairs owner-lookup
+    fallback (a dense id-indexed vector would be gigabytes)."""
+    graph = DiGraph()
+    base = 10 ** 9
+    for offset in range(20):
+        graph.add_edge(base + offset * 7_919, base + ((offset + 1) % 20) * 7_919)
+    python_system, vectorized_system = build_pair(graph)
+    sources = [base, base + 7_919, base + 3]  # last one is unknown
+    assert_equivalent(
+        python_system.batch_khop(sources, 2),
+        vectorized_system.batch_khop(sources, 2),
+        context="sparse ids",
+    )
+
+
+def test_pack_overflow_guard():
+    """Node ids beyond the 64-bit packed-key range raise instead of
+    silently wrapping (keys path only; k-hop masks don't pack)."""
+    graph = DiGraph()
+    huge = 2 ** 61
+    graph.add_edge(huge, huge + 1)
+    config = MoctopusConfig(cost_model=CostModel(num_modules=4), engine="vectorized")
+    system = Moctopus.from_graph(graph, config)
+    with pytest.raises(OverflowError):
+        system.execute(RPQuery(".{2}", [huge] * 8))
+
+
+def test_parity_with_unknown_sources():
+    graph = random_graph(30, 90, seed=3)
+    python_system, vectorized_system = build_pair(graph)
+    sources = [0, 424242, 5, 999999]
+    assert_equivalent(
+        python_system.batch_khop(sources, 2),
+        vectorized_system.batch_khop(sources, 2),
+        context="unknown sources",
+    )
+
+
+def test_parity_with_duplicate_sources():
+    graph = random_graph(30, 90, seed=4)
+    python_system, vectorized_system = build_pair(graph)
+    sources = [1, 1, 2, 2, 1]
+    assert_equivalent(
+        python_system.batch_khop(sources, 3),
+        vectorized_system.batch_khop(sources, 3),
+        context="duplicate sources",
+    )
+
+
+def test_parity_on_empty_batch():
+    graph = random_graph(20, 50, seed=5)
+    python_system, vectorized_system = build_pair(graph)
+    assert_equivalent(
+        python_system.batch_khop([], 2),
+        vectorized_system.batch_khop([], 2),
+        context="empty batch",
+    )
+
+
+def test_parity_without_labor_division():
+    graph = random_graph(40, 200, seed=6)
+    python_system, vectorized_system = build_pair(
+        graph, high_degree_threshold=None
+    )
+    sources = random_source_batch(list(graph.nodes()), 12, seed=6)
+    assert_equivalent(
+        python_system.batch_khop(sources, 3),
+        vectorized_system.batch_khop(sources, 3),
+        context="no labor division",
+    )
+
+
+def test_parity_with_migration_disabled():
+    graph = random_graph(40, 200, seed=7)
+    python_system, vectorized_system = build_pair(graph, enable_migration=False)
+    sources = random_source_batch(list(graph.nodes()), 12, seed=7)
+    for hops in (1, 2, 3):
+        assert_equivalent(
+            python_system.batch_khop(sources, hops),
+            vectorized_system.batch_khop(sources, hops),
+            context=f"migration off hops={hops}",
+        )

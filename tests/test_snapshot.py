@@ -1,0 +1,151 @@
+"""Tests for the CSR storage snapshots and their dirty-flag invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hetero_storage import BYTES_PER_SLOT, HeterogeneousGraphStorage
+from repro.core.local_storage import BYTES_PER_ENTRY, LocalGraphStorage
+from repro.core.snapshot import build_snapshot
+
+
+# ----------------------------------------------------------------------
+# build_snapshot
+# ----------------------------------------------------------------------
+def test_build_snapshot_orders_rows_and_counts_locals():
+    snapshot = build_snapshot(
+        [(5, [(1, 0), (5, 0), (9, 0)]), (1, [(5, 0)]), (9, [])],
+        bytes_per_entry=12,
+        working_set_bytes=100,
+        count_local=True,
+    )
+    assert snapshot.node_ids.tolist() == [1, 5, 9]
+    assert snapshot.degrees.tolist() == [1, 3, 0]
+    assert snapshot.num_rows == 3 and snapshot.num_edges == 4
+    # Row 1 -> {5}: local.  Row 5 -> {1, 5, 9}: all local.  Row 9 empty.
+    assert snapshot.local_counts.tolist() == [1, 3, 0]
+    assert snapshot.lookup(np.array([1, 2, 5, 9, 100])).tolist() == [0, -1, 1, 2, -1]
+
+
+def test_build_snapshot_empty():
+    snapshot = build_snapshot([], bytes_per_entry=12, working_set_bytes=1, count_local=True)
+    assert snapshot.num_rows == 0 and snapshot.num_edges == 0
+    assert snapshot.lookup(np.array([3, 7])).tolist() == [-1, -1]
+
+
+def test_build_snapshot_trailing_empty_rows():
+    snapshot = build_snapshot(
+        [(0, [(1, 0)]), (1, []), (2, [])],
+        bytes_per_entry=12,
+        working_set_bytes=1,
+        count_local=True,
+    )
+    assert snapshot.local_counts.tolist() == [1, 0, 0]
+
+
+# ----------------------------------------------------------------------
+# LocalGraphStorage.to_csr
+# ----------------------------------------------------------------------
+def test_local_storage_snapshot_cached_until_mutation():
+    storage = LocalGraphStorage()
+    storage.add_edge(1, 2)
+    storage.add_edge(2, 3)
+    first = storage.to_csr()
+    assert storage.to_csr() is first
+    assert storage.snapshot_builds == 1
+
+    storage.add_edge(1, 4)
+    second = storage.to_csr()
+    assert second is not first
+    assert storage.snapshot_builds == 2
+    # Only source rows live in the segment: rows 1 and 2.
+    assert second.degrees.tolist() == [2, 1]
+
+
+def test_local_storage_snapshot_invalidated_by_every_mutation():
+    storage = LocalGraphStorage()
+    storage.add_edge(1, 2, label=7)
+
+    storage.to_csr()
+    assert storage.remove_edge(1, 2)
+    assert storage.to_csr().num_edges == 0
+
+    storage.to_csr()
+    storage.insert_row(10, [(11, 0), (12, 0)])
+    assert storage.to_csr().lookup(np.array([10])).tolist() == [1]
+
+    storage.to_csr()
+    storage.remove_row(10)
+    assert storage.to_csr().lookup(np.array([10])).tolist() == [-1]
+
+    storage.to_csr()
+    storage.ensure_row(99)
+    assert 99 in storage.to_csr().node_ids.tolist()
+
+    # Relabeling an existing edge is a mutation too.
+    storage.add_edge(1, 5, label=1)
+    snapshot = storage.to_csr()
+    storage.add_edge(1, 5, label=2)
+    assert storage.to_csr() is not snapshot
+
+
+def test_local_storage_snapshot_bytes_match_scalar_accounting():
+    storage = LocalGraphStorage()
+    for dst in range(5):
+        storage.add_edge(0, dst)
+    snapshot = storage.to_csr()
+    assert snapshot.bytes_per_entry == BYTES_PER_ENTRY
+    assert int(snapshot.degrees[0]) * snapshot.bytes_per_entry == len(
+        storage.next_hops_with_labels(0)
+    ) * BYTES_PER_ENTRY
+    assert snapshot.working_set_bytes == max(storage.storage_bytes, 1)
+
+
+# ----------------------------------------------------------------------
+# HeterogeneousGraphStorage.to_csr
+# ----------------------------------------------------------------------
+def test_hetero_snapshot_matches_cols_vector_order():
+    storage = HeterogeneousGraphStorage(num_pim_modules=4)
+    storage.insert_edge(3, 10)
+    storage.insert_edge(3, 11)
+    storage.insert_edge(3, 12)
+    storage.delete_edge(3, 11)
+    snapshot = storage.to_csr()
+    assert snapshot.node_ids.tolist() == [3]
+    # Occupied slots in position order — the order a host scan streams.
+    expected = [dst for dst, _ in storage.next_hops_with_labels(3)]
+    start, end = int(snapshot.indptr[0]), int(snapshot.indptr[1])
+    assert snapshot.dsts[start:end].tolist() == expected
+    assert snapshot.bytes_per_entry == BYTES_PER_SLOT
+    assert snapshot.working_set_bytes == max(storage.total_bytes(), 1)
+    # The host never detects misplacement.
+    assert snapshot.local_counts.tolist() == [0]
+
+
+def test_hetero_snapshot_invalidation():
+    storage = HeterogeneousGraphStorage(num_pim_modules=4)
+    storage.insert_edge(1, 2)
+    first = storage.to_csr()
+    assert storage.to_csr() is first
+
+    storage.insert_edge(1, 3)
+    assert storage.to_csr() is not first
+    assert storage.snapshot_builds == 2
+
+    storage.to_csr()
+    storage.delete_edge(1, 2)
+    assert storage.to_csr().num_edges == 1
+
+    storage.to_csr()
+    storage.insert_row(7, [(8, 0)])
+    assert 7 in storage.to_csr().node_ids.tolist()
+
+    storage.to_csr()
+    storage.remove_row(7)
+    assert 7 not in storage.to_csr().node_ids.tolist()
+
+    # A no-op update (duplicate insert) does not invalidate.
+    cached = storage.to_csr()
+    outcome = storage.insert_edge(1, 3)
+    assert not outcome.applied
+    assert storage.to_csr() is cached
