@@ -13,7 +13,10 @@ ablations can sweep them:
   PIM-hash contrast system and the ablation benches are expressed;
 * the physical execution backend (``engine``) — the scalar reference
   engine or the vectorized numpy engine, which are required to agree on
-  every result and every simulated counter.
+  every result and every simulated counter;
+* the snapshot-maintenance knobs (``snapshot_compact_ratio``,
+  ``snapshot_incremental``) controlling how the storages refresh their
+  cached CSR views between updates and queries.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.snapshot import DEFAULT_SNAPSHOT_COMPACT_RATIO
 from repro.pim.cost_model import CostModel
 from repro.partition.labor_division import DEFAULT_HIGH_DEGREE_THRESHOLD
 from repro.partition.radical_greedy import DEFAULT_CAPACITY_FACTOR
@@ -62,6 +66,17 @@ class MoctopusConfig:
     #: snapshots).  Both produce identical results and identical
     #: simulated statistics; vectorized is much faster wall-clock.
     engine: str = "python"
+    #: Dirty-row fraction of a storage's cached CSR base above which a
+    #: snapshot refresh compacts (rebuilds the base from scratch) instead
+    #: of splicing the delta overlay in.  ``0.0`` compacts on every
+    #: refresh; large values always splice.
+    snapshot_compact_ratio: float = DEFAULT_SNAPSHOT_COMPACT_RATIO
+    #: Whether storages maintain their CSR snapshots incrementally
+    #: (base + overlay).  ``False`` restores the pre-overlay behaviour —
+    #: every mutation invalidates, every refresh is a from-scratch
+    #: scalar rebuild — kept as a benchmark baseline and differential
+    #: reference.
+    snapshot_incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.pim_placement not in ("radical_greedy", "hash"):
@@ -81,6 +96,8 @@ class MoctopusConfig:
             raise ValueError("migration_capacity_factor must be >= 1.0")
         if self.high_degree_threshold is not None and self.high_degree_threshold <= 0:
             raise ValueError("high_degree_threshold must be positive or None")
+        if self.snapshot_compact_ratio < 0.0:
+            raise ValueError("snapshot_compact_ratio must be >= 0")
 
     @property
     def num_modules(self) -> int:

@@ -29,7 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.core.snapshot import GraphSnapshot, build_snapshot
+from repro.core.snapshot import (
+    DEFAULT_SNAPSHOT_COMPACT_RATIO,
+    GraphSnapshot,
+    SnapshotCache,
+)
 from repro.graph.digraph import DEFAULT_LABEL
 
 #: Growth factor of a ``cols_vector`` when it runs out of capacity.
@@ -91,7 +95,12 @@ class ColsVector:
 class HeterogeneousGraphStorage:
     """Host-resident ``cols_vector`` rows plus PIM-resident index maps."""
 
-    def __init__(self, num_pim_modules: int) -> None:
+    def __init__(
+        self,
+        num_pim_modules: int,
+        compact_ratio: float = DEFAULT_SNAPSHOT_COMPACT_RATIO,
+        incremental: bool = True,
+    ) -> None:
         if num_pim_modules <= 0:
             raise ValueError("num_pim_modules must be positive")
         self._num_pim_modules = num_pim_modules
@@ -101,11 +110,8 @@ class HeterogeneousGraphStorage:
         #: ``row -> list of free positions`` — conceptually on PIM modules.
         self._free_list_map: Dict[int, List[int]] = {}
         self._num_edges = 0
-        #: Cached CSR snapshot; ``None`` whenever a mutation has occurred
-        #: since the last :meth:`to_csr` call (dirty-flag invalidation).
-        self._snapshot: Optional[GraphSnapshot] = None
-        #: Number of snapshot rebuilds performed (testing/diagnostics).
-        self.snapshot_builds = 0
+        #: Base snapshot + overlay + refresh strategy (see repro.core.snapshot).
+        self._cache = SnapshotCache(compact_ratio, incremental)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -176,23 +182,52 @@ class HeterogeneousGraphStorage:
         """Edge existence via the PIM-side ``elem_position_map``."""
         return (src, dst) in self._elem_position_map
 
+    def _fetch_row(self, node: int) -> Optional[List[Tuple[int, int]]]:
+        """Current entries of ``node``'s row (``None`` when absent)."""
+        vector = self._vectors.get(node)
+        return None if vector is None else vector.occupied()
+
+    def _all_rows(self) -> List[Tuple[int, List[Tuple[int, int]]]]:
+        return [(node, vector.occupied()) for node, vector in self._vectors.items()]
+
     def to_csr(self) -> GraphSnapshot:
-        """CSR snapshot of the host rows (cached until the next mutation).
+        """CSR snapshot of the host rows (cached; incrementally refreshed).
 
         Entries appear in ``cols_vector`` position order (the order a
         host scan streams them); ``working_set_bytes`` is the
         capacity-based footprint that the host's random-access cost
-        depends on.
+        depends on.  Refresh strategy (return cached / splice dirty rows
+        / compact) lives in :class:`~repro.core.snapshot.SnapshotCache`;
+        every strategy yields array-identical snapshots.
         """
-        if self._snapshot is None:
-            self._snapshot = build_snapshot(
-                [(node, vector.occupied()) for node, vector in self._vectors.items()],
-                bytes_per_entry=BYTES_PER_SLOT,
-                working_set_bytes=max(self.total_bytes(), 1),
-                count_local=False,
-            )
-            self.snapshot_builds += 1
-        return self._snapshot
+        return self._cache.refresh(
+            self._all_rows,
+            self._fetch_row,
+            bytes_per_entry=BYTES_PER_SLOT,
+            working_set_bytes=lambda: max(self.total_bytes(), 1),
+            count_local=False,
+        )
+
+    # Refresh-strategy counters, aliased for tests and diagnostics.
+    @property
+    def snapshot_builds(self) -> int:
+        """Number of snapshot refreshes performed (any strategy)."""
+        return self._cache.builds
+
+    @property
+    def snapshot_full_builds(self) -> int:
+        """Refreshes that rebuilt the base from scratch."""
+        return self._cache.full_builds
+
+    @property
+    def snapshot_merges(self) -> int:
+        """Refreshes that spliced the overlay into the cached base."""
+        return self._cache.merges
+
+    @property
+    def snapshot_compactions(self) -> int:
+        """Full builds forced by the overlay crossing ``compact_ratio``."""
+        return self._cache.compactions
 
     # ------------------------------------------------------------------
     # Mutation (split between host and PIM, reported in the outcome)
@@ -203,7 +238,8 @@ class HeterogeneousGraphStorage:
             return False
         self._vectors[node] = ColsVector()
         self._free_list_map[node] = list(range(INITIAL_CAPACITY))
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_add(node)
         return True
 
     def insert_edge(
@@ -230,7 +266,8 @@ class HeterogeneousGraphStorage:
         vector.slots[position] = (dst, label)
         vector.size += 1
         self._num_edges += 1
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_add(src)
         return HeteroUpdateOutcome(
             applied=True,
             pim_map_lookups=lookups,
@@ -250,7 +287,8 @@ class HeterogeneousGraphStorage:
         self._free_list_map.setdefault(src, []).append(position)
         lookups += 1  # free_list_map release (PIM side).
         self._num_edges -= 1
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_sub(src)
         return HeteroUpdateOutcome(
             applied=True, pim_map_lookups=lookups, host_writes=1
         )
@@ -271,7 +309,8 @@ class HeterogeneousGraphStorage:
         self._vectors[node] = vector
         self._free_list_map[node] = list(range(len(entries), capacity))
         self._num_edges += len(entries)
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_move_in(node)
 
     def remove_row(self, node: int) -> List[Tuple[int, int]]:
         """Remove a row entirely and return its entries (demotion path)."""
@@ -283,7 +322,8 @@ class HeterogeneousGraphStorage:
             self._elem_position_map.pop((node, dst), None)
         self._free_list_map.pop(node, None)
         self._num_edges -= len(entries)
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_move_out(node)
         return entries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -11,13 +11,24 @@ The storage itself is purely functional with respect to simulation: it
 mutates data and reports what happened (row length read, whether an edge
 existed, ...), while the *processors* translate those reports into
 charged work on the simulated hardware.
+
+Snapshots are maintained incrementally: mutations record the touched row
+in a :class:`~repro.core.snapshot.DeltaOverlay` instead of discarding
+the cached CSR base, and :meth:`to_csr` splices the dirty rows back in
+(or compacts to a fresh base when the overlay has grown past
+``compact_ratio`` of the base) — see :mod:`repro.core.snapshot` for the
+lifecycle.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.core.snapshot import GraphSnapshot, build_snapshot
+from repro.core.snapshot import (
+    DEFAULT_SNAPSHOT_COMPACT_RATIO,
+    GraphSnapshot,
+    SnapshotCache,
+)
 from repro.graph.digraph import DEFAULT_LABEL
 from repro.pim.memory import LocalMemory
 
@@ -30,15 +41,17 @@ BYTES_PER_ROW = 32
 class LocalGraphStorage:
     """Hash-map adjacency segment stored in one PIM module's local memory."""
 
-    def __init__(self, memory: Optional[LocalMemory] = None) -> None:
+    def __init__(
+        self,
+        memory: Optional[LocalMemory] = None,
+        compact_ratio: float = DEFAULT_SNAPSHOT_COMPACT_RATIO,
+        incremental: bool = True,
+    ) -> None:
         self._rows: Dict[int, List[Tuple[int, int]]] = {}
         self._memory = memory
         self._num_edges = 0
-        #: Cached CSR snapshot; ``None`` whenever a mutation has occurred
-        #: since the last :meth:`to_csr` call (dirty-flag invalidation).
-        self._snapshot: Optional[GraphSnapshot] = None
-        #: Number of snapshot rebuilds performed (testing/diagnostics).
-        self.snapshot_builds = 0
+        #: Base snapshot + overlay + refresh strategy (see repro.core.snapshot).
+        self._cache = SnapshotCache(compact_ratio, incremental)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -81,7 +94,8 @@ class LocalGraphStorage:
         if self._memory is not None:
             self._memory.allocate(BYTES_PER_ROW)
         self._rows[node] = []
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_add(node)
         return True
 
     def add_edge(self, src: int, dst: int, label: int = DEFAULT_LABEL) -> bool:
@@ -91,13 +105,15 @@ class LocalGraphStorage:
         for index, (existing_dst, _) in enumerate(row):
             if existing_dst == dst:
                 row[index] = (dst, label)
-                self._snapshot = None
+                if self._cache.tracking:
+                    self._cache.overlay.record_add(src)
                 return False
         if self._memory is not None:
             self._memory.allocate(BYTES_PER_ENTRY)
         row.append((dst, label))
         self._num_edges += 1
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_add(src)
         return True
 
     def remove_edge(self, src: int, dst: int) -> bool:
@@ -111,7 +127,8 @@ class LocalGraphStorage:
                 self._num_edges -= 1
                 if self._memory is not None:
                     self._memory.free(BYTES_PER_ENTRY)
-                self._snapshot = None
+                if self._cache.tracking:
+                    self._cache.overlay.record_sub(src)
                 return True
         return False
 
@@ -127,7 +144,8 @@ class LocalGraphStorage:
         self._num_edges -= len(row)
         if self._memory is not None:
             self._memory.free(BYTES_PER_ROW + len(row) * BYTES_PER_ENTRY)
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_move_out(node)
         return row
 
     def insert_row(self, node: int, entries: List[Tuple[int, int]]) -> None:
@@ -138,28 +156,51 @@ class LocalGraphStorage:
             self._memory.allocate(BYTES_PER_ROW + len(entries) * BYTES_PER_ENTRY)
         self._rows[node] = list(entries)
         self._num_edges += len(entries)
-        self._snapshot = None
+        if self._cache.tracking:
+            self._cache.overlay.record_move_in(node)
 
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
     def to_csr(self) -> GraphSnapshot:
-        """CSR snapshot of this segment (cached until the next mutation).
+        """CSR snapshot of this segment (cached; incrementally refreshed).
 
         The snapshot carries this storage's byte-accounting constant and
         the per-row local-destination counts that misplacement detection
         uses, so the vectorized engine can charge identical simulated
-        work to the scalar path.
+        work to the scalar path.  Refresh strategy (return cached /
+        splice dirty rows / compact) lives in
+        :class:`~repro.core.snapshot.SnapshotCache`; every strategy
+        yields array-identical snapshots.
         """
-        if self._snapshot is None:
-            self._snapshot = build_snapshot(
-                list(self._rows.items()),
-                bytes_per_entry=BYTES_PER_ENTRY,
-                working_set_bytes=max(self.storage_bytes, 1),
-                count_local=True,
-            )
-            self.snapshot_builds += 1
-        return self._snapshot
+        return self._cache.refresh(
+            lambda: list(self._rows.items()),
+            self._rows.get,
+            bytes_per_entry=BYTES_PER_ENTRY,
+            working_set_bytes=lambda: max(self.storage_bytes, 1),
+            count_local=True,
+        )
+
+    # Refresh-strategy counters, aliased for tests and diagnostics.
+    @property
+    def snapshot_builds(self) -> int:
+        """Number of snapshot refreshes performed (any strategy)."""
+        return self._cache.builds
+
+    @property
+    def snapshot_full_builds(self) -> int:
+        """Refreshes that rebuilt the base from scratch."""
+        return self._cache.full_builds
+
+    @property
+    def snapshot_merges(self) -> int:
+        """Refreshes that spliced the overlay into the cached base."""
+        return self._cache.merges
+
+    @property
+    def snapshot_compactions(self) -> int:
+        """Full builds forced by the overlay crossing ``compact_ratio``."""
+        return self._cache.compactions
 
     # ------------------------------------------------------------------
     # Query access

@@ -11,6 +11,12 @@ misplaced nodes.
 The migrator is also responsible for the labor-division moves: when a
 node's out-degree crosses the high-degree threshold, its row is promoted
 from its PIM module to the host's heterogeneous storage.
+
+Every row move goes through the storages' ``remove_row``/``insert_row``
+pair, which records the move in each storage's snapshot
+:class:`~repro.core.snapshot.DeltaOverlay` — a migration dirties exactly
+two rows (one per storage), so the next query's snapshot refresh splices
+rather than rebuilds.
 """
 
 from __future__ import annotations
@@ -111,6 +117,8 @@ class NodeMigrator:
         int
             Number of nodes actually migrated.
         """
+        if not self._pending:
+            return 0
         migrated = 0
         # Sorted by node id so the outcome is independent of report
         # order: the execution engines discover misplaced nodes in

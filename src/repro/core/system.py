@@ -58,9 +58,18 @@ class Moctopus:
         self.pim = PIMSystem(self.config.cost_model)
         self._partitioner = GraphPartitioner(self.config)
         self._module_storages = [
-            LocalGraphStorage(memory=module.memory) for module in self.pim.modules
+            LocalGraphStorage(
+                memory=module.memory,
+                compact_ratio=self.config.snapshot_compact_ratio,
+                incremental=self.config.snapshot_incremental,
+            )
+            for module in self.pim.modules
         ]
-        self._host_storage = HeterogeneousGraphStorage(self.config.num_modules)
+        self._host_storage = HeterogeneousGraphStorage(
+            self.config.num_modules,
+            compact_ratio=self.config.snapshot_compact_ratio,
+            incremental=self.config.snapshot_incremental,
+        )
         self._processors = [
             OperatorProcessor(
                 module_id,
@@ -255,13 +264,16 @@ class Moctopus:
         return self._query_processor.engine_name
 
     def use_engine(self, name: str) -> None:
-        """Swap the query execution backend (``"python"`` / ``"vectorized"``).
+        """Swap the execution backend (``"python"`` / ``"vectorized"``).
 
-        Both backends produce identical results and identical simulated
-        statistics on the same system state; swapping mid-run is safe
-        and is how the engine benchmarks compare wall-clock cost.
+        Switches both the query engine and the update processor's batch
+        partitioning path.  Both backends produce identical results and
+        identical simulated statistics on the same system state;
+        swapping mid-run is safe and is how the engine benchmarks
+        compare wall-clock cost.
         """
         self._query_processor.use_engine(name)
+        self._update_processor.use_engine(name)
 
     def partition_of(self, node: int) -> Optional[int]:
         """Partition of ``node`` (``-1`` = host)."""

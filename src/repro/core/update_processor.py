@@ -20,11 +20,32 @@ Execution of one batch:
    its local hash-map segment.  High-degree updates run their PIM-side
    index lookups on the module sharding that row's maps, and the host
    performs the single positional write into ``cols_vector``.
+
+Two interchangeable implementations of the partition step exist, chosen
+by the same ``MoctopusConfig.engine`` knob as the query backends:
+
+* ``"python"`` — the scalar reference: one pass over the batch, a
+  partition-vector consultation per update (exact original semantics);
+* ``"vectorized"`` — one ``searchsorted`` over the whole batch resolves
+  every endpoint against the :class:`~repro.partition.owner_index.
+  OwnerIndex`; updates that cannot change any placement (both endpoints
+  assigned, source nowhere near the high-degree threshold) are grouped
+  per module with ``np.unique``-style run detection, and only the
+  *stateful* remainder — brand-new nodes, sources that may cross the
+  threshold mid-batch — replays through the scalar logic in batch
+  order.
+
+Both produce bit-identical operator queues per source, identical final
+system state, and identical simulated statistics: all phase accounting
+is integer counters folded into time once per phase, so one bulk charge
+equals N unit charges exactly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.config import MoctopusConfig
 from repro.core.hetero_storage import HeterogeneousGraphStorage
@@ -33,11 +54,119 @@ from repro.core.node_migrator import NodeMigrator
 from repro.core.operator_processor import OperatorProcessor
 from repro.core.operators import BYTES_PER_UPDATE_ITEM, OPERATOR_HEADER_BYTES
 from repro.core.partitioner import GraphPartitioner
+from repro.engine.base import ENGINE_NAMES
 from repro.graph.digraph import DEFAULT_LABEL, DiGraph
 from repro.graph.stream import UpdateKind, UpdateOp
 from repro.partition.base import HOST_PARTITION
+from repro.partition.owner_index import OwnerIndex
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import OperationContext, PIMSystem
+
+
+class _PendingBatch:
+    """Per-module ``add``/``sub`` operator payloads of one batch.
+
+    Entries are indexed by source as they are queued, because a source
+    promoted to the host mid-batch must pull its already-queued updates
+    out of its old module's operators (they would otherwise be applied
+    to a row that no longer lives there).  Requeueing tombstones the
+    entries in place — survivor order is untouched and one promotion
+    costs O(pending-for-source), not a rescan of the whole batch —
+    and :meth:`finalize` drops the tombstones in a single pass.
+    """
+
+    def __init__(self) -> None:
+        self.adds: Dict[int, List[Optional[Tuple[int, int, int]]]] = {}
+        self.subs: Dict[int, List[Optional[Tuple[int, int]]]] = {}
+        self._add_positions: Dict[Tuple[int, int], List[int]] = {}
+        self._sub_positions: Dict[Tuple[int, int], List[int]] = {}
+
+    def queue_add(self, module: int, src: int, dst: int, label: int) -> None:
+        """Queue one insertion for ``module``, indexed for a possible
+        requeue; use :meth:`extend_adds` for sources that cannot promote."""
+        bucket = self.adds.setdefault(module, [])
+        self._add_positions.setdefault((module, src), []).append(len(bucket))
+        bucket.append((src, dst, label))
+
+    def queue_sub(self, module: int, src: int, dst: int) -> None:
+        """Queue one deletion for ``module`` (see :meth:`queue_add`)."""
+        bucket = self.subs.setdefault(module, [])
+        self._sub_positions.setdefault((module, src), []).append(len(bucket))
+        bucket.append((src, dst))
+
+    def extend_adds(self, module: int, entries: List[Tuple[int, int, int]]) -> None:
+        """Bulk-queue insertions whose sources can never be requeued."""
+        self.adds.setdefault(module, []).extend(entries)
+
+    def extend_subs(self, module: int, entries: List[Tuple[int, int]]) -> None:
+        """Bulk-queue deletions whose sources can never be requeued."""
+        self.subs.setdefault(module, []).extend(entries)
+
+    def requeue_source(
+        self, src: int, module: int
+    ) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int]]]:
+        """Remove and return ``src``'s pending entries on ``module``.
+
+        Returned in queueing order (adds, then subs), exactly the order
+        the scalar rescan used to discover them.
+        """
+        adds: List[Tuple[int, int, int]] = []
+        add_bucket = self.adds.get(module, [])
+        for position in self._add_positions.pop((module, src), []):
+            adds.append(add_bucket[position])
+            add_bucket[position] = None
+        subs: List[Tuple[int, int]] = []
+        sub_bucket = self.subs.get(module, [])
+        for position in self._sub_positions.pop((module, src), []):
+            subs.append(sub_bucket[position])
+            sub_bucket[position] = None
+        return adds, subs
+
+    def finalize(
+        self,
+    ) -> Tuple[
+        Dict[int, List[Tuple[int, int, int]]], Dict[int, List[Tuple[int, int]]]
+    ]:
+        """Tombstone-free operator payloads, per module.
+
+        Modules whose payload was entirely requeued keep an (empty)
+        operator — the scalar path always did, and the empty kernel
+        launch is part of the charged work.
+        """
+        module_adds = {
+            module: [entry for entry in bucket if entry is not None]
+            for module, bucket in self.adds.items()
+        }
+        module_subs = {
+            module: [entry for entry in bucket if entry is not None]
+            for module, bucket in self.subs.items()
+        }
+        return module_adds, module_subs
+
+
+def _run_bounds(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Start/stop indices of equal-value runs in a sorted array."""
+    run_mask = np.empty(len(values), dtype=bool)
+    run_mask[0] = True
+    np.not_equal(values[1:], values[:-1], out=run_mask[1:])
+    starts = np.flatnonzero(run_mask)
+    return starts, np.append(starts[1:], len(values))
+
+
+def _grouped_by_owner(mask: np.ndarray, owners: np.ndarray):
+    """Yield ``(owner, op-index chunk)`` per owner run of the masked ops.
+
+    The stable owner sort keeps batch order within each chunk — the
+    per-source entry order the apply-phase byte accounting depends on.
+    """
+    selected = np.flatnonzero(mask)
+    if selected.size == 0:
+        return
+    chunk_owners = owners[selected]
+    order = np.argsort(chunk_owners, kind="stable")
+    selected, chunk_owners = selected[order], chunk_owners[order]
+    for start, stop in zip(*_run_bounds(chunk_owners)):
+        yield int(chunk_owners[start]), selected[start:stop]
 
 
 class UpdateProcessor:
@@ -62,6 +191,24 @@ class UpdateProcessor:
         self._processors = operator_processors
         self._migrator = node_migrator
         self._mirror = mirror_graph
+        self._engine_name = config.engine
+        self._owner_index = OwnerIndex()
+
+    # ------------------------------------------------------------------
+    # Backend selection (mirrors the query processor's knob)
+    # ------------------------------------------------------------------
+    @property
+    def engine_name(self) -> str:
+        """Name of the active update-partitioning backend."""
+        return self._engine_name
+
+    def use_engine(self, name: str) -> None:
+        """Swap the update-partitioning backend (``"python"``/``"vectorized"``)."""
+        if name not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown execution engine {name!r}; expected one of {ENGINE_NAMES}"
+            )
+        self._engine_name = name
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -89,32 +236,19 @@ class UpdateProcessor:
         """Apply a mixed batch of updates following the paper's flow."""
         operation = self._pim.begin_operation()
 
-        module_adds: Dict[int, List[Tuple[int, int, int]]] = {}
-        module_subs: Dict[int, List[Tuple[int, int]]] = {}
+        pending = _PendingBatch()
         hetero_ops: List[Tuple[UpdateOp, int]] = []
 
         with operation.phase("partition"):
-            for index, update in enumerate(ops):
-                label = labels[index] if labels else DEFAULT_LABEL
-                operation.host.process_items(1)
-                owner, promoted_from = self._place_for_update(update, operation)
-                if promoted_from is not None:
-                    # The source was promoted to the host while this batch was
-                    # being partitioned: updates already queued for its old
-                    # module must follow it, or they would be applied to a row
-                    # that no longer lives there.
-                    self._requeue_promoted_source(
-                        update.src, promoted_from, module_adds, module_subs,
-                        hetero_ops,
-                    )
-                if owner == HOST_PARTITION:
-                    hetero_ops.append((update, label))
-                elif update.kind is UpdateKind.INSERT:
-                    module_adds.setdefault(owner, []).append(
-                        (update.src, update.dst, label)
-                    )
-                else:
-                    module_subs.setdefault(owner, []).append((update.src, update.dst))
+            if self._engine_name == "vectorized" and ops:
+                self._partition_batch_vectorized(
+                    operation, ops, labels, pending, hetero_ops
+                )
+            else:
+                self._partition_batch_scalar(
+                    operation, ops, labels, pending, hetero_ops
+                )
+        module_adds, module_subs = pending.finalize()
 
         with operation.phase("dispatch"):
             dispatched_items = sum(len(edges) for edges in module_adds.values())
@@ -136,8 +270,186 @@ class UpdateProcessor:
         return stats
 
     # ------------------------------------------------------------------
+    # Partition phase — scalar reference
+    # ------------------------------------------------------------------
+    def _partition_batch_scalar(
+        self,
+        operation: OperationContext,
+        ops: List[UpdateOp],
+        labels: Optional[List[int]],
+        pending: _PendingBatch,
+        hetero_ops: List[Tuple[UpdateOp, int]],
+    ) -> None:
+        """One partition-vector consultation per update (original semantics)."""
+        for index, update in enumerate(ops):
+            label = labels[index] if labels else DEFAULT_LABEL
+            operation.host.process_items(1)
+            self._route_update(update, label, operation, pending, hetero_ops)
+
+    # ------------------------------------------------------------------
+    # Partition phase — vectorized batch path
+    # ------------------------------------------------------------------
+    def _partition_batch_vectorized(
+        self,
+        operation: OperationContext,
+        ops: List[UpdateOp],
+        labels: Optional[List[int]],
+        pending: _PendingBatch,
+        hetero_ops: List[Tuple[UpdateOp, int]],
+    ) -> None:
+        """Whole-batch partitioning with one owner lookup per endpoint array.
+
+        Updates are split by *source* into a **simple** set — source and
+        destination already assigned and the source cannot cross the
+        high-degree threshold within this batch, so partitioning is a
+        pure lookup — and a **complex** remainder that may mutate
+        partitioner state (place new nodes, promote hubs).  Simple
+        updates are resolved and grouped entirely in numpy; complex ones
+        replay through the scalar per-op logic in batch order, which
+        reproduces placement decisions, promotions and requeues exactly.
+        A source is classified wholesale, so the per-source queueing
+        order every accounting rule depends on is preserved verbatim.
+        """
+        count = len(ops)
+        # Loop-top per-item host charge of the scalar path, in one call
+        # (integer phase counters make this bit-identical).
+        operation.host.process_items(count)
+
+        srcs = np.fromiter((update.src for update in ops), dtype=np.int64, count=count)
+        dsts = np.fromiter((update.dst for update in ops), dtype=np.int64, count=count)
+        inserts = np.fromiter(
+            (update.kind is UpdateKind.INSERT for update in ops),
+            dtype=bool,
+            count=count,
+        )
+
+        self._owner_index.refresh(self._partitioner.partition_map)
+        src_owners = self._owner_index.owners_of(srcs)
+        dst_owners = self._owner_index.owners_of(dsts)
+        unknown = OwnerIndex.UNKNOWN
+
+        # --- classify sources --------------------------------------------
+        complex_sources = set(np.unique(srcs[src_owners == unknown]).tolist())
+        complex_sources.update(
+            np.unique(srcs[inserts & (dst_owners == unknown)]).tolist()
+        )
+        threshold = self._config.high_degree_threshold
+        if threshold is not None:
+            candidates = (
+                inserts & (src_owners != unknown) & (src_owners != HOST_PARTITION)
+            )
+            unique_srcs, batch_degrees = np.unique(
+                srcs[candidates], return_counts=True
+            )
+            for node, batch_degree in zip(
+                unique_srcs.tolist(), batch_degrees.tolist()
+            ):
+                # The labor-division wrapper promotes when the observed
+                # degree passes the threshold; with this batch's inserts
+                # it would reach deg + batch_degree.
+                if (
+                    self._partitioner.observed_out_degree(node) + batch_degree
+                    > threshold
+                ):
+                    complex_sources.add(node)
+
+        if complex_sources:
+            complex_arr = np.fromiter(
+                sorted(complex_sources), dtype=np.int64, count=len(complex_sources)
+            )
+            positions = np.minimum(
+                np.searchsorted(complex_arr, srcs), len(complex_arr) - 1
+            )
+            is_complex = complex_arr[positions] == srcs
+        else:
+            is_complex = np.zeros(count, dtype=bool)
+
+        simple_inserts = inserts & ~is_complex
+        simple_deletes = ~inserts & ~is_complex
+
+        # --- bulk host accounting for the simple set ---------------------
+        # The scalar path charges 2 partition-vector accesses per insert
+        # and 1 per delete; the working set is constant across the phase
+        # (the mirror only mutates during apply).
+        accesses = 2 * int(simple_inserts.sum()) + int(simple_deletes.sum())
+        if accesses:
+            operation.host.random_accesses(
+                accesses, working_set_bytes=len(self._mirror) * 2
+            )
+
+        # --- degree bookkeeping the scalar ingest would have done --------
+        if threshold is not None and simple_inserts.any():
+            unique_srcs, batch_degrees = np.unique(
+                srcs[simple_inserts], return_counts=True
+            )
+            self._partitioner.record_observed_edges(
+                zip(unique_srcs.tolist(), batch_degrees.tolist()),
+                np.unique(dsts[simple_inserts]).tolist(),
+            )
+
+        if labels:
+            op_labels = np.fromiter(labels, dtype=np.int64, count=count)
+        else:
+            op_labels = np.full(count, DEFAULT_LABEL, dtype=np.int64)
+
+        # --- group simple module updates per module ----------------------
+        on_module = src_owners != HOST_PARTITION
+        for owner, chunk in _grouped_by_owner(simple_inserts & on_module, src_owners):
+            pending.extend_adds(
+                owner,
+                list(
+                    zip(
+                        srcs[chunk].tolist(),
+                        dsts[chunk].tolist(),
+                        op_labels[chunk].tolist(),
+                    )
+                ),
+            )
+        for owner, chunk in _grouped_by_owner(simple_deletes & on_module, src_owners):
+            pending.extend_subs(
+                owner, list(zip(srcs[chunk].tolist(), dsts[chunk].tolist()))
+            )
+
+        # --- simple host-resident updates (the hetero protocol) ----------
+        host_simple = ~is_complex & (src_owners == HOST_PARTITION)
+        for index in np.flatnonzero(host_simple).tolist():
+            hetero_ops.append((ops[index], int(op_labels[index])))
+
+        # --- stateful remainder: replay scalar logic in batch order ------
+        for index in np.flatnonzero(is_complex).tolist():
+            self._route_update(
+                ops[index], int(op_labels[index]), operation, pending, hetero_ops
+            )
+
+    # ------------------------------------------------------------------
     # Placement of update targets
     # ------------------------------------------------------------------
+    def _route_update(
+        self,
+        update: UpdateOp,
+        label: int,
+        operation: OperationContext,
+        pending: _PendingBatch,
+        hetero_ops: List[Tuple[UpdateOp, int]],
+    ) -> None:
+        """Place one update and queue it — the per-op routing both the
+        scalar path and the vectorized stateful remainder share."""
+        owner, promoted_from = self._place_for_update(update, operation)
+        if promoted_from is not None:
+            # The source was promoted to the host while this batch was
+            # being partitioned: updates already queued for its old
+            # module must follow it, or they would be applied to a row
+            # that no longer lives there.
+            self._requeue_promoted_source(
+                update.src, promoted_from, pending, hetero_ops
+            )
+        if owner == HOST_PARTITION:
+            hetero_ops.append((update, label))
+        elif update.kind is UpdateKind.INSERT:
+            pending.queue_add(owner, update.src, update.dst, label)
+        else:
+            pending.queue_sub(owner, update.src, update.dst)
+
     def _place_for_update(
         self, update: UpdateOp, operation: OperationContext
     ) -> Tuple[int, Optional[int]]:
@@ -178,33 +490,19 @@ class UpdateProcessor:
         self,
         src: int,
         promoted_from: int,
-        module_adds: Dict[int, List[Tuple[int, int, int]]],
-        module_subs: Dict[int, List[Tuple[int, int]]],
+        pending: _PendingBatch,
         hetero_ops: List[Tuple[UpdateOp, int]],
     ) -> None:
         """Move queued updates of a just-promoted source to the hetero path."""
-        pending_adds = module_adds.get(promoted_from, [])
-        kept_adds = []
-        for edge_src, edge_dst, edge_label in pending_adds:
-            if edge_src == src:
-                hetero_ops.append(
-                    (UpdateOp(UpdateKind.INSERT, edge_src, edge_dst), edge_label)
-                )
-            else:
-                kept_adds.append((edge_src, edge_dst, edge_label))
-        if pending_adds:
-            module_adds[promoted_from] = kept_adds
-        pending_subs = module_subs.get(promoted_from, [])
-        kept_subs = []
-        for edge_src, edge_dst in pending_subs:
-            if edge_src == src:
-                hetero_ops.append(
-                    (UpdateOp(UpdateKind.DELETE, edge_src, edge_dst), DEFAULT_LABEL)
-                )
-            else:
-                kept_subs.append((edge_src, edge_dst))
-        if pending_subs:
-            module_subs[promoted_from] = kept_subs
+        requeued_adds, requeued_subs = pending.requeue_source(src, promoted_from)
+        for edge_src, edge_dst, edge_label in requeued_adds:
+            hetero_ops.append(
+                (UpdateOp(UpdateKind.INSERT, edge_src, edge_dst), edge_label)
+            )
+        for edge_src, edge_dst in requeued_subs:
+            hetero_ops.append(
+                (UpdateOp(UpdateKind.DELETE, edge_src, edge_dst), DEFAULT_LABEL)
+            )
 
     # ------------------------------------------------------------------
     # Application

@@ -46,13 +46,14 @@ from repro.engine.accounting import charge_dispatch, charge_reduce
 from repro.engine.base import EngineRuntime
 from repro.engine.physical import PhysicalPlan, run_plan
 from repro.partition.base import HOST_PARTITION
+from repro.partition.owner_index import OwnerIndex
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import OperationContext
 from repro.rpq.automaton import DFA
 from repro.rpq.query import BatchResult
 
 #: Owner code of a node the partitioner has never seen (dangling edge).
-_UNKNOWN_OWNER = -2
+_UNKNOWN_OWNER = OwnerIndex.UNKNOWN
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -186,12 +187,9 @@ class VectorizedEngine:
 
     def __init__(self, runtime: EngineRuntime) -> None:
         self._runtime = runtime
-        #: Owner lookup, one of two representations (see _refresh_owner_array):
-        #: a dense id-indexed vector, or sorted (nodes, partitions) pairs.
-        self._owner_dense: Optional[np.ndarray] = None
-        self._owner_nodes: Optional[np.ndarray] = None
-        self._owner_parts: Optional[np.ndarray] = None
-        self._owner_version = -1
+        #: Version-cached vectorized owner lookups over the partition map
+        #: (shared implementation with the vectorized update path).
+        self._owner_index = OwnerIndex()
 
     # ------------------------------------------------------------------
     # Plan execution
@@ -199,69 +197,16 @@ class VectorizedEngine:
     def execute(
         self, plan: PhysicalPlan, sources: List[int]
     ) -> Tuple[BatchResult, ExecutionStats]:
-        self._refresh_owner_array()
+        # Node placement cannot change mid-query (migrations run after
+        # the answer is complete), so one refresh covers the whole plan.
+        self._owner_index.refresh(self._runtime.partitioner.partition_map)
         if plan.dfa is None:
             return self._execute_bitset(plan, sources)
         return self._execute_keys(plan, sources)
 
-    # ------------------------------------------------------------------
-    # Owner lookups
-    # ------------------------------------------------------------------
-    def _refresh_owner_array(self) -> None:
-        """Freeze the partition map into a vectorized lookup structure.
-
-        Node placement cannot change mid-query (migrations run after the
-        answer is complete), so one pass over the partition map buys
-        vectorized owner lookups for every routed destination; the
-        structure is cached against the map's version stamp, so
-        back-to-back queries share it.  Reasonably dense node ids get a
-        flat id-indexed vector (O(1) gathers); sparse id spaces — where
-        that vector would dwarf the assignment itself — fall back to
-        sorted ``(nodes, partitions)`` pairs probed by binary search.
-        """
-        partition_map = self._runtime.partitioner.partition_map
-        if self._owner_version == partition_map.version:
-            return
-        count = len(partition_map)
-        nodes = np.fromiter(
-            (node for node, _ in partition_map.items()), dtype=np.int64, count=count
-        )
-        parts = np.fromiter(
-            (part for _, part in partition_map.items()), dtype=np.int64, count=count
-        )
-        highest = int(nodes.max()) if count else -1
-        if highest + 1 <= 4 * count + 1024:
-            dense = np.full(highest + 1, _UNKNOWN_OWNER, dtype=np.int64)
-            dense[nodes] = parts
-            self._owner_dense = dense
-            self._owner_nodes = None
-            self._owner_parts = None
-        else:
-            order = np.argsort(nodes)
-            self._owner_dense = None
-            self._owner_nodes = nodes[order]
-            self._owner_parts = parts[order]
-        self._owner_version = partition_map.version
-
     def _owners_of(self, nodes: np.ndarray) -> np.ndarray:
         """Owner partition per node (``_UNKNOWN_OWNER`` when unplaced)."""
-        dense = self._owner_dense
-        if dense is not None:
-            if dense.size == 0:
-                return np.full(len(nodes), _UNKNOWN_OWNER, dtype=np.int64)
-            clipped = np.minimum(nodes, dense.size - 1)
-            return np.where(nodes < dense.size, dense[clipped], _UNKNOWN_OWNER)
-        owner_nodes = self._owner_nodes
-        if owner_nodes is None or owner_nodes.size == 0:
-            return np.full(len(nodes), _UNKNOWN_OWNER, dtype=np.int64)
-        positions = np.minimum(
-            np.searchsorted(owner_nodes, nodes), owner_nodes.size - 1
-        )
-        return np.where(
-            owner_nodes[positions] == nodes,
-            self._owner_parts[positions],
-            _UNKNOWN_OWNER,
-        )
+        return self._owner_index.owners_of(nodes)
 
     # ==================================================================
     # Bit-mask path (pure k-hop plans: contexts are bare query rows)

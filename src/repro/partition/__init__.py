@@ -36,6 +36,7 @@ from repro.partition.labor_division import (
     DEFAULT_HIGH_DEGREE_THRESHOLD,
     LaborDivisionPartitioner,
 )
+from repro.partition.owner_index import OwnerIndex
 from repro.partition.metrics import (
     PartitionQuality,
     evaluate_partition,
@@ -57,6 +58,7 @@ __all__ = [
     "DEFAULT_CAPACITY_FACTOR",
     "LaborDivisionPartitioner",
     "DEFAULT_HIGH_DEGREE_THRESHOLD",
+    "OwnerIndex",
     "PartitionQuality",
     "evaluate_partition",
     "load_imbalance",

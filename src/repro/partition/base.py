@@ -20,12 +20,18 @@ Two interaction styles are supported:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections import deque
+from itertools import islice
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.digraph import DiGraph
 
 #: Partition id of the host CPU (the paper's ``H`` marker).
 HOST_PARTITION = -1
+
+#: Placement changes a :class:`PartitionMap` remembers for incremental
+#: consumers (the vectorized owner index); older gaps force a rebuild.
+JOURNAL_CAPACITY = 4096
 
 
 class PartitionMap:
@@ -42,6 +48,9 @@ class PartitionMap:
         #: derived lookup structures (the vectorized engine's owner
         #: vector caches against it).
         self.version = 0
+        #: Ring buffer of the most recent placement changes, in order;
+        #: :meth:`changes_since` serves incremental consumers from it.
+        self._journal: Deque[Tuple[int, int]] = deque(maxlen=JOURNAL_CAPACITY)
 
     def assign(self, node: int, partition: int) -> None:
         """Place ``node`` on ``partition`` (moving it if already placed)."""
@@ -51,7 +60,24 @@ class PartitionMap:
             self._sizes[previous] -= 1
         self._assignment[node] = partition
         self._sizes[partition] += 1
+        self._journal.append((node, partition))
         self.version += 1
+
+    def changes_since(self, version: int) -> Optional[List[Tuple[int, int]]]:
+        """Placement changes after ``version``, oldest first.
+
+        Returns ``None`` when the gap exceeds the journal capacity (the
+        caller must rebuild from scratch).  ``version`` is a value of
+        :attr:`version` the caller observed earlier; one journal entry is
+        appended per version bump, so the delta is the last
+        ``current - version`` entries.
+        """
+        delta = self.version - version
+        if delta < 0 or delta > len(self._journal):
+            return None
+        if delta == 0:
+            return []
+        return list(islice(self._journal, len(self._journal) - delta, None))
 
     def partition_of(self, node: int) -> Optional[int]:
         """Partition of ``node`` or ``None`` when unassigned."""
@@ -142,6 +168,27 @@ class StreamingPartitioner(ABC):
     def partition_of(self, node: int) -> Optional[int]:
         """Partition of ``node`` or ``None`` when unassigned."""
         return self.partition_map.partition_of(node)
+
+    # ------------------------------------------------------------------
+    # Degree-stream hooks (no-ops unless a policy tracks degrees)
+    # ------------------------------------------------------------------
+    def observed_out_degree(self, node: int) -> int:
+        """Out-degree of ``node`` as seen by the ingest stream.
+
+        Policies that do not track degrees report 0; the labor-division
+        wrapper overrides this with its real counter.
+        """
+        return 0
+
+    def observe_edges(
+        self, src_counts: Iterable[Tuple[int, int]], dsts: Iterable[int]
+    ) -> None:
+        """Bulk degree bookkeeping for edges placed without ingestion.
+
+        Default no-op; the labor-division wrapper overrides it.  Callers
+        guarantee no source crosses a promotion threshold — this hook
+        must never change placements.
+        """
 
 
 def partition_static_graph(

@@ -1,0 +1,117 @@
+"""Vectorized owner lookups over the ``node_partition_vector``.
+
+Both the vectorized execution engine and the vectorized update path need
+to answer "which partition owns each of these nodes?" for whole arrays
+at once.  :class:`OwnerIndex` freezes the
+:class:`~repro.partition.base.PartitionMap` into one of two numpy
+lookup structures and caches it against the map's version stamp, so
+back-to-back batches between placement changes share the same arrays.
+
+Reasonably dense node ids get a flat id-indexed vector (O(1) gathers);
+sparse id spaces — where that vector would dwarf the assignment itself —
+fall back to sorted ``(nodes, partitions)`` pairs probed by binary
+search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.partition.base import PartitionMap
+
+
+class OwnerIndex:
+    """Version-cached, array-at-a-time view of a :class:`PartitionMap`."""
+
+    #: Owner code of a node the partitioner has never seen (dangling edge).
+    UNKNOWN = -2
+
+    def __init__(self) -> None:
+        self._dense: Optional[np.ndarray] = None
+        self._nodes: Optional[np.ndarray] = None
+        self._parts: Optional[np.ndarray] = None
+        self._version = -1
+
+    def refresh(self, partition_map: PartitionMap) -> None:
+        """Bring the lookup structure up to date with the map.
+
+        Callers refresh once per batch: node placement cannot change
+        mid-batch (updates partition against the batch-start vector,
+        queries cannot be interrupted by migrations).  When the map's
+        change journal still covers the gap and the dense representation
+        applies, only the changed entries are patched in; otherwise one
+        pass over the partition map rebuilds the structure.
+        """
+        if self._version == partition_map.version:
+            return
+        if self._dense is not None:
+            delta = partition_map.changes_since(self._version)
+            if delta is not None and self._apply_delta(delta, partition_map):
+                self._version = partition_map.version
+                return
+        self._rebuild(partition_map)
+
+    def _apply_delta(
+        self, delta: list, partition_map: PartitionMap
+    ) -> bool:
+        """Patch recent placement changes into the dense vector.
+
+        Applied in journal order so re-placements resolve to the latest
+        assignment.  Returns ``False`` (caller rebuilds) when a new node
+        id would stretch the dense vector past the sparsity bound.
+        """
+        dense = self._dense
+        highest = max((node for node, _ in delta), default=-1)
+        if highest >= dense.size:
+            if highest + 1 > 4 * len(partition_map) + 1024:
+                return False
+            grown = np.full(highest + 1, self.UNKNOWN, dtype=np.int64)
+            grown[: dense.size] = dense
+            dense = self._dense = grown
+        for node, part in delta:
+            dense[node] = part
+        return True
+
+    def _rebuild(self, partition_map: PartitionMap) -> None:
+        count = len(partition_map)
+        nodes = np.fromiter(
+            (node for node, _ in partition_map.items()), dtype=np.int64, count=count
+        )
+        parts = np.fromiter(
+            (part for _, part in partition_map.items()), dtype=np.int64, count=count
+        )
+        highest = int(nodes.max()) if count else -1
+        if highest + 1 <= 4 * count + 1024:
+            dense = np.full(highest + 1, self.UNKNOWN, dtype=np.int64)
+            dense[nodes] = parts
+            self._dense = dense
+            self._nodes = None
+            self._parts = None
+        else:
+            order = np.argsort(nodes)
+            self._dense = None
+            self._nodes = nodes[order]
+            self._parts = parts[order]
+        self._version = partition_map.version
+
+    def owners_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Owner partition per node (:data:`UNKNOWN` when unplaced)."""
+        dense = self._dense
+        if dense is not None:
+            if dense.size == 0:
+                return np.full(len(nodes), self.UNKNOWN, dtype=np.int64)
+            clipped = np.minimum(nodes, dense.size - 1)
+            return np.where(nodes < dense.size, dense[clipped], self.UNKNOWN)
+        owner_nodes = self._nodes
+        if owner_nodes is None or owner_nodes.size == 0:
+            return np.full(len(nodes), self.UNKNOWN, dtype=np.int64)
+        positions = np.minimum(
+            np.searchsorted(owner_nodes, nodes), owner_nodes.size - 1
+        )
+        return np.where(
+            owner_nodes[positions] == nodes,
+            self._parts[positions],
+            self.UNKNOWN,
+        )

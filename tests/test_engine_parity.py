@@ -18,10 +18,39 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Moctopus, MoctopusConfig
+from repro.core.hetero_storage import BYTES_PER_SLOT
+from repro.core.local_storage import BYTES_PER_ENTRY
+from repro.core.snapshot import build_snapshot_reference
 from repro.engine import PythonEngine, VectorizedEngine, create_engine
 from repro.graph import DiGraph, random_graph
 from repro.pim import CostModel
 from repro.rpq import KHopQuery, RPQuery, random_source_batch
+
+
+def assert_snapshots_match_rebuild(system, context=""):
+    """Incremental snapshots must equal from-scratch rebuilds array-for-array."""
+    for module_id, storage in enumerate(system._module_storages):
+        snapshot = storage.to_csr()
+        reference = build_snapshot_reference(
+            list(storage._rows.items()),
+            bytes_per_entry=BYTES_PER_ENTRY,
+            working_set_bytes=max(storage.storage_bytes, 1),
+            count_local=True,
+        )
+        assert snapshot.same_arrays(reference), (
+            f"module {module_id} snapshot diverged from rebuild {context}"
+        )
+    host = system._host_storage
+    snapshot = host.to_csr()
+    reference = build_snapshot_reference(
+        [(node, vector.occupied()) for node, vector in host._vectors.items()],
+        bytes_per_entry=BYTES_PER_SLOT,
+        working_set_bytes=max(host.total_bytes(), 1),
+        count_local=False,
+    )
+    assert snapshot.same_arrays(reference), (
+        f"host snapshot diverged from rebuild {context}"
+    )
 
 
 def stats_fingerprint(stats):
@@ -213,6 +242,87 @@ def test_parity_with_interleaved_updates(seed):
         assert dict(python_system._partitioner.partition_map.items()) == dict(
             vectorized_system._partitioner.partition_map.items()
         ), f"placement diverged at seed={seed} step={step}"
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_parity_with_heavy_update_batches(seed):
+    """Hub-concentrated update batches ≡ across engines, snapshots included.
+
+    Batches big enough to promote sources mid-batch exercise the
+    vectorized update path's stateful remainder (placement of brand-new
+    nodes, threshold crossings, requeues) against the scalar reference,
+    and after every step each storage's incrementally-maintained CSR
+    snapshot must equal a from-scratch rebuild array-for-array.
+    """
+    rng = random.Random(seed)
+    graph = random_graph(50, 180, seed=seed)
+    python_system, vectorized_system = build_pair(graph, high_degree_threshold=8)
+    for step in range(6):
+        kind = rng.choice(["khop", "insert", "hub_insert", "delete"])
+        if kind == "khop":
+            sources = random_source_batch(list(range(60)), 8, seed=seed + step)
+            assert_equivalent(
+                python_system.batch_khop(sources, 2),
+                vectorized_system.batch_khop(sources, 2),
+                context=f"seed={seed} step={step} khop",
+            )
+        elif kind == "insert":
+            # Wide batch with a slice of brand-new node ids.
+            edges = [
+                (rng.randrange(90), rng.randrange(90)) for _ in range(48)
+            ]
+            labels = [rng.randrange(1, 4) for _ in edges]
+            stats_python = python_system.insert_edges(list(edges), labels=list(labels))
+            stats_vectorized = vectorized_system.insert_edges(
+                list(edges), labels=list(labels)
+            )
+            assert stats_fingerprint(stats_python) == stats_fingerprint(
+                stats_vectorized
+            ), f"seed={seed} step={step} insert"
+        elif kind == "hub_insert":
+            # Concentrate inserts on a few sources so some cross the
+            # high-degree threshold mid-batch (promotion + requeue).
+            hubs = [rng.randrange(70) for _ in range(3)]
+            edges = [(rng.choice(hubs), rng.randrange(150)) for _ in range(40)]
+            stats_python = python_system.insert_edges(list(edges))
+            stats_vectorized = vectorized_system.insert_edges(list(edges))
+            assert stats_fingerprint(stats_python) == stats_fingerprint(
+                stats_vectorized
+            ), f"seed={seed} step={step} hub_insert"
+        else:
+            existing = list(python_system.graph.edges())
+            edges = [rng.choice(existing) for _ in range(16)] if existing else []
+            stats_python = python_system.delete_edges(list(edges))
+            stats_vectorized = vectorized_system.delete_edges(list(edges))
+            assert stats_fingerprint(stats_python) == stats_fingerprint(
+                stats_vectorized
+            ), f"seed={seed} step={step} delete"
+        assert dict(python_system._partitioner.partition_map.items()) == dict(
+            vectorized_system._partitioner.partition_map.items()
+        ), f"placement diverged at seed={seed} step={step}"
+        assert_snapshots_match_rebuild(
+            python_system, context=f"(python seed={seed} step={step})"
+        )
+        assert_snapshots_match_rebuild(
+            vectorized_system, context=f"(vectorized seed={seed} step={step})"
+        )
+    assert sorted(python_system.graph.edges()) == sorted(
+        vectorized_system.graph.edges()
+    )
+
+
+def test_update_engine_follows_use_engine():
+    """``use_engine`` swaps the update-partitioning backend too."""
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    system = Moctopus.from_graph(
+        graph, MoctopusConfig(cost_model=CostModel(num_modules=4))
+    )
+    assert system._update_processor.engine_name == "python"
+    system.use_engine("vectorized")
+    assert system._update_processor.engine_name == "vectorized"
+    with pytest.raises(ValueError):
+        system._update_processor.use_engine("fortran")
 
 
 # ----------------------------------------------------------------------

@@ -7,12 +7,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph import DiGraph, community_graph, random_graph
+from repro.partition.base import JOURNAL_CAPACITY
 from repro.partition import (
     HOST_PARTITION,
     AdaptivePartitioner,
     HashPartitioner,
     LDGPartitioner,
     LaborDivisionPartitioner,
+    OwnerIndex,
     PartitionMap,
     RadicalGreedyPartitioner,
     adaptive_partition_graph,
@@ -235,3 +237,46 @@ def test_every_streaming_partitioner_assigns_every_node(num_partitions, seed):
             partition = pmap.partition_of(node)
             assert partition is not None
             assert partition == HOST_PARTITION or 0 <= partition < num_partitions
+
+
+# ----------------------------------------------------------------------
+# PartitionMap change journal + OwnerIndex
+# ----------------------------------------------------------------------
+def test_partition_map_changes_since():
+    pmap = PartitionMap(4)
+    base_version = pmap.version
+    assert pmap.changes_since(base_version) == []
+    pmap.assign(10, 1)
+    pmap.assign(11, 2)
+    pmap.assign(10, HOST_PARTITION)  # re-placement: latest wins, in order
+    assert pmap.changes_since(base_version) == [
+        (10, 1),
+        (11, 2),
+        (10, HOST_PARTITION),
+    ]
+    assert pmap.changes_since(pmap.version - 1) == [(10, HOST_PARTITION)]
+    assert pmap.changes_since(pmap.version) == []
+    # A gap beyond the journal (or a bogus future version) forces rebuild.
+    assert pmap.changes_since(pmap.version + 1) is None
+    assert pmap.changes_since(-JOURNAL_CAPACITY - 1) is None
+
+
+def test_owner_index_incremental_matches_rebuild():
+    import numpy as np
+
+    pmap = PartitionMap(4)
+    for node in range(50):
+        pmap.assign(node, node % 4)
+    incremental = OwnerIndex()
+    incremental.refresh(pmap)
+    # Churn placements (including new, larger ids) and re-refresh: the
+    # delta-patched index must answer like a freshly-built one.
+    pmap.assign(3, HOST_PARTITION)
+    pmap.assign(7, 2)
+    pmap.assign(60, 1)  # new id: dense vector must grow
+    incremental.refresh(pmap)
+    fresh = OwnerIndex()
+    fresh.refresh(pmap)
+    probes = np.array([0, 3, 7, 49, 60, 61, 1000], dtype=np.int64)
+    assert incremental.owners_of(probes).tolist() == fresh.owners_of(probes).tolist()
+    assert incremental.owners_of(probes)[-1] == OwnerIndex.UNKNOWN

@@ -1,4 +1,4 @@
-"""Tests for the CSR storage snapshots and their dirty-flag invalidation."""
+"""Tests for the CSR storage snapshots and their incremental maintenance."""
 
 from __future__ import annotations
 
@@ -6,7 +6,22 @@ import numpy as np
 
 from repro.core.hetero_storage import BYTES_PER_SLOT, HeterogeneousGraphStorage
 from repro.core.local_storage import BYTES_PER_ENTRY, LocalGraphStorage
-from repro.core.snapshot import build_snapshot
+from repro.core.snapshot import (
+    DeltaOverlay,
+    build_snapshot,
+    build_snapshot_reference,
+    merge_snapshot,
+)
+
+
+def reference_of(storage: LocalGraphStorage):
+    """From-scratch scalar rebuild of ``storage``'s current contents."""
+    return build_snapshot_reference(
+        list(storage._rows.items()),
+        bytes_per_entry=BYTES_PER_ENTRY,
+        working_set_bytes=max(storage.storage_bytes, 1),
+        count_local=True,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -41,6 +56,183 @@ def test_build_snapshot_trailing_empty_rows():
         count_local=True,
     )
     assert snapshot.local_counts.tolist() == [1, 0, 0]
+
+
+def test_build_snapshot_matches_scalar_reference():
+    """The vectorized builder and the per-edge reference agree array-for-array."""
+    rows = [
+        (5, [(1, 0), (5, 2), (9, 1)]),
+        (1, [(5, 3)]),
+        (9, []),
+        (3, [(77, 0), (3, 1)]),
+    ]
+    for count_local in (True, False):
+        fast = build_snapshot(rows, 12, 100, count_local)
+        slow = build_snapshot_reference(rows, 12, 100, count_local)
+        assert fast.same_arrays(slow)
+
+
+# ----------------------------------------------------------------------
+# DeltaOverlay + merge_snapshot
+# ----------------------------------------------------------------------
+def test_overlay_empty_fast_path_returns_same_object():
+    storage = LocalGraphStorage()
+    storage.add_edge(1, 2)
+    first = storage.to_csr()
+    # No mutation since the refresh: the cached base comes back as-is.
+    assert storage.to_csr() is first
+    assert storage.snapshot_builds == 1
+    assert storage.snapshot_merges == 0
+    assert storage._cache.overlay.is_empty
+
+
+def test_overlay_delete_of_never_snapshotted_edge():
+    """An edge added and deleted between refreshes merges cleanly."""
+    storage = LocalGraphStorage()
+    storage.add_edge(1, 2)
+    storage.to_csr()
+    storage.add_edge(3, 4)   # never in the base
+    storage.remove_edge(3, 4)
+    snapshot = storage.to_csr()
+    assert snapshot.same_arrays(reference_of(storage))
+    # Row 3 exists (empty) because add_edge created it.
+    assert snapshot.node_ids.tolist() == [1, 3]
+    assert snapshot.degrees.tolist() == [1, 0]
+    # Deleting an edge that never existed anywhere is a no-op merge-wise.
+    storage.remove_edge(77, 78)
+    assert storage.to_csr().same_arrays(reference_of(storage))
+
+
+def test_overlay_row_migrated_then_updated_in_same_batch():
+    """A row moved between storages and edited before the next refresh."""
+    source = LocalGraphStorage(compact_ratio=10.0)
+    target = LocalGraphStorage(compact_ratio=10.0)
+    for node in range(8):
+        source.add_edge(node, node + 100)
+        target.add_edge(node + 50, node + 100)
+    source.to_csr()
+    target.to_csr()
+    # Migrate row 3 and update it on its new home, all within one batch.
+    entries = source.remove_row(3)
+    target.insert_row(3, entries)
+    target.add_edge(3, 999)
+    target.remove_edge(3, 103)
+    source_snapshot = source.to_csr()
+    target_snapshot = target.to_csr()
+    assert source.snapshot_merges == 1 and target.snapshot_merges == 1
+    assert source_snapshot.same_arrays(reference_of(source))
+    assert target_snapshot.same_arrays(reference_of(target))
+    assert 3 not in source_snapshot.node_ids.tolist()
+    row = target_snapshot.lookup(np.array([3]))[0]
+    start, stop = target_snapshot.indptr[row], target_snapshot.indptr[row + 1]
+    assert target_snapshot.dsts[start:stop].tolist() == [999]
+    # Remove + reinstall on the *same* storage also resolves to live data.
+    entries = target.remove_row(3)
+    target.insert_row(3, [(42, 7)])
+    assert target.to_csr().same_arrays(reference_of(target))
+
+
+def test_overlay_compaction_threshold_boundary():
+    """Dirty rows strictly above ratio x base rows trigger compaction."""
+    def fresh(ratio):
+        storage = LocalGraphStorage(compact_ratio=ratio)
+        for node in range(10):
+            storage.add_edge(node, node + 100)
+        storage.to_csr()
+        return storage
+
+    # 2 dirty rows of 10 == ratio exactly -> splice (strict inequality).
+    storage = fresh(0.2)
+    storage.add_edge(0, 777)
+    storage.add_edge(1, 777)
+    storage.to_csr()
+    assert storage.snapshot_merges == 1 and storage.snapshot_compactions == 0
+
+    # 3 dirty rows of 10 > 0.2 -> compact to a fresh base.
+    storage = fresh(0.2)
+    for node in (0, 1, 2):
+        storage.add_edge(node, 777)
+    snapshot = storage.to_csr()
+    assert storage.snapshot_compactions == 1 and storage.snapshot_merges == 0
+    assert snapshot.same_arrays(reference_of(storage))
+
+    # ratio 0 always compacts; a huge ratio always splices.
+    storage = fresh(0.0)
+    storage.add_edge(0, 777)
+    storage.to_csr()
+    assert storage.snapshot_compactions == 1
+    storage = fresh(1e9)
+    for node in range(10):
+        storage.add_edge(node, 777)
+    assert storage.to_csr().same_arrays(reference_of(storage))
+    assert storage.snapshot_merges == 1
+
+
+def test_overlay_records_kinds_and_clears():
+    overlay = DeltaOverlay()
+    assert overlay.is_empty
+    overlay.record_add(3)
+    overlay.record_sub(3)
+    overlay.record_move_out(5)
+    overlay.record_move_in(5)
+    assert not overlay.is_empty
+    assert overlay.num_edits == 4
+    assert (overlay.edge_adds, overlay.edge_subs, overlay.row_moves) == (1, 1, 2)
+    assert overlay.dirty_rows().tolist() == [3, 5]
+    overlay.clear()
+    assert overlay.is_empty and overlay.num_edits == 0
+    assert overlay.dirty_rows().tolist() == []
+
+
+def test_merge_snapshot_into_empty_base():
+    base = build_snapshot([], bytes_per_entry=12, working_set_bytes=1, count_local=True)
+    rows = {4: [(1, 0)], 2: [(4, 5)]}
+    merged = merge_snapshot(
+        base,
+        np.array([2, 4], dtype=np.int64),
+        rows.get,
+        bytes_per_entry=12,
+        working_set_bytes=50,
+        count_local=True,
+    )
+    reference = build_snapshot(list(rows.items()), 12, 50, True)
+    assert merged.same_arrays(reference)
+    # Membership changes flip locality of *clean* rows too: 2 -> 4 is
+    # local only because row 4 exists.
+    assert merged.local_counts.tolist() == [1, 0]
+
+
+def test_non_incremental_mode_rebuilds_every_refresh():
+    storage = LocalGraphStorage(incremental=False)
+    storage.add_edge(1, 2)
+    first = storage.to_csr()
+    assert storage.to_csr() is first  # clean cache still reused
+    storage.add_edge(1, 3)
+    second = storage.to_csr()
+    assert second is not first
+    assert storage.snapshot_full_builds == 2 and storage.snapshot_merges == 0
+    assert second.same_arrays(reference_of(storage))
+
+
+def test_hetero_overlay_merges_match_rebuild():
+    storage = HeterogeneousGraphStorage(num_pim_modules=4, compact_ratio=10.0)
+    for node in range(6):
+        for dst in range(3):
+            storage.insert_edge(node, 10 * node + dst)
+    storage.to_csr()
+    storage.insert_edge(2, 999)
+    storage.delete_edge(3, 30)
+    entries = storage.remove_row(4)
+    storage.insert_row(40, entries)
+    snapshot = storage.to_csr()
+    assert storage.snapshot_merges == 1
+    reference = build_snapshot_reference(
+        [(node, vector.occupied()) for node, vector in storage._vectors.items()],
+        bytes_per_entry=BYTES_PER_SLOT,
+        working_set_bytes=max(storage.total_bytes(), 1),
+        count_local=False,
+    )
+    assert snapshot.same_arrays(reference)
 
 
 # ----------------------------------------------------------------------

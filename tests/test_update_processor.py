@@ -1,0 +1,129 @@
+"""Tests for the batch update path: requeue indexing and backend parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Moctopus, MoctopusConfig
+from repro.core.update_processor import _PendingBatch
+from repro.graph import DiGraph
+from repro.graph.stream import UpdateKind, UpdateOp
+from repro.partition.base import HOST_PARTITION
+from repro.pim import CostModel
+
+
+# ----------------------------------------------------------------------
+# _PendingBatch (the per-source requeue index)
+# ----------------------------------------------------------------------
+def test_pending_batch_requeue_is_per_source():
+    pending = _PendingBatch()
+    pending.queue_add(0, src=1, dst=10, label=0)
+    pending.queue_add(0, src=2, dst=20, label=0)
+    pending.queue_add(0, src=1, dst=11, label=3)
+    pending.queue_sub(0, src=1, dst=12)
+    pending.queue_sub(0, src=3, dst=30)
+    adds, subs = pending.requeue_source(1, module=0)
+    # src 1's entries come back in queueing order; others are untouched.
+    assert adds == [(1, 10, 0), (1, 11, 3)]
+    assert subs == [(1, 12)]
+    module_adds, module_subs = pending.finalize()
+    assert module_adds[0] == [(2, 20, 0)]
+    assert module_subs[0] == [(3, 30)]
+
+
+def test_pending_batch_keeps_emptied_module_operator():
+    """A module whose whole payload was requeued still gets an operator.
+
+    The scalar path always dispatched (and charged a kernel launch for)
+    an operator to a module that had entries queued, even if a promotion
+    drained them all; the tombstone finalize must preserve that.
+    """
+    pending = _PendingBatch()
+    pending.queue_add(2, src=7, dst=70, label=0)
+    pending.requeue_source(7, module=2)
+    module_adds, _ = pending.finalize()
+    assert module_adds == {2: []}
+
+
+def test_pending_batch_untracked_bulk_entries_are_not_requeued():
+    pending = _PendingBatch()
+    pending.extend_adds(1, [(5, 50, 0), (6, 60, 0)])
+    pending.queue_add(1, src=5, dst=51, label=0)
+    adds, subs = pending.requeue_source(5, module=1)
+    # Only the tracked entry moves; the bulk (never-promotable) ones stay.
+    assert adds == [(5, 51, 0)] and subs == []
+    module_adds, _ = pending.finalize()
+    assert module_adds[1] == [(5, 50, 0), (6, 60, 0)]
+
+
+def test_pending_batch_requeue_of_unknown_source_is_empty():
+    pending = _PendingBatch()
+    pending.queue_add(0, src=1, dst=10, label=0)
+    assert pending.requeue_source(99, module=0) == ([], [])
+    assert pending.requeue_source(1, module=5) == ([], [])
+
+
+# ----------------------------------------------------------------------
+# Promotions mid-batch (requeue through the real update path)
+# ----------------------------------------------------------------------
+def promotion_system(engine="python", threshold=4):
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    config = MoctopusConfig(
+        cost_model=CostModel(num_modules=4),
+        high_degree_threshold=threshold,
+        engine=engine,
+    )
+    return Moctopus.from_graph(graph, config)
+
+
+@pytest.mark.parametrize("engine", ["python", "vectorized"])
+def test_multiple_promotions_in_one_batch(engine):
+    """Two sources crossing the threshold in the same batch both requeue."""
+    system = promotion_system(engine=engine)
+    assert system.partition_of(0) != HOST_PARTITION
+    assert system.partition_of(1) != HOST_PARTITION
+    edges = []
+    for dst in range(10, 15):
+        edges.append((0, dst))
+        edges.append((1, dst + 10))
+    stats = system.insert_edges(edges)
+    assert stats.counters["updates"] == len(edges)
+    # Both sources ended up promoted, with every inserted edge applied
+    # exactly once (requeued entries must not double-apply).
+    assert system.partition_of(0) == HOST_PARTITION
+    assert system.partition_of(1) == HOST_PARTITION
+    assert system._partitioner.promotions() == 2
+    for src, dst in edges:
+        assert system.has_edge(src, dst)
+        assert system._host_storage.has_edge(src, dst)
+    result, _ = system.batch_khop([0, 1], hops=1)
+    assert result.destinations_of(0) == set(system.graph.successors(0))
+    assert result.destinations_of(1) == set(system.graph.successors(1))
+
+
+@pytest.mark.parametrize("engine", ["python", "vectorized"])
+def test_promotion_requeues_pending_deletes_too(engine):
+    system = promotion_system(engine=engine)
+    ops = [UpdateOp(UpdateKind.DELETE, 0, 1)]  # queued for 0's module first
+    ops += [UpdateOp(UpdateKind.INSERT, 0, dst) for dst in range(20, 25)]
+    system.apply_updates(ops)
+    assert system.partition_of(0) == HOST_PARTITION
+    assert not system.has_edge(0, 1)  # the requeued delete was applied
+    for dst in range(20, 25):
+        assert system.has_edge(0, dst)
+
+
+def test_mixed_batch_stats_match_insert_then_delete_state():
+    """apply_updates on a mixed stream leaves the same graph as the parts."""
+    system = promotion_system()
+    ops = [
+        UpdateOp(UpdateKind.INSERT, 2, 40),
+        UpdateOp(UpdateKind.DELETE, 2, 3),
+        UpdateOp(UpdateKind.INSERT, 5, 2),
+        UpdateOp(UpdateKind.DELETE, 3, 0),
+    ]
+    system.apply_updates(ops)
+    assert system.has_edge(2, 40)
+    assert not system.has_edge(2, 3)
+    assert system.has_edge(5, 2)
+    assert not system.has_edge(3, 0)
