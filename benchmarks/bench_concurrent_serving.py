@@ -1,0 +1,278 @@
+"""Concurrent-serving benchmark: coalesced readers vs serialized callers.
+
+The serving layer's pitch is throughput under concurrency: many clients
+each ask single-source k-hop questions, and the
+:class:`~repro.serve.scheduler.BatchScheduler` coalesces whatever is
+waiting in its admission queue into one engine-level batch per window —
+the paper's batch-query machinery applied to interleaved traffic.  This
+benchmark measures exactly that contrast on one graph and one query
+population:
+
+``serialized``
+    8 reader threads call ``system.batch_khop([src], k)`` directly; the
+    system's writer lock serializes them, so wall-clock is the sum of
+    single-source executions (the pre-serving behaviour of every
+    caller owning the whole system).
+``coalesced``
+    the same 8 readers submit the same queries to a
+    :class:`BatchScheduler` (each keeping a small pipeline of in-flight
+    futures, as an async client would), which executes them as
+    epoch-pinned engine batches.
+
+Both phases must produce identical answers; the headline assertion is
+``coalesced`` throughput >= 2x ``serialized``.  A third, untimed phase
+re-runs the coalesced workload with a concurrent writer applying update
+batches, as a liveness/isolation check under churn: every query still
+completes and answers a consistent published epoch.
+
+Run styles::
+
+    python -m pytest benchmarks/bench_concurrent_serving.py -q -s   # smoke
+    python benchmarks/bench_concurrent_serving.py                   # table
+    python benchmarks/bench_concurrent_serving.py --json BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Set, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench import format_table  # noqa: E402
+from repro.core import Moctopus, MoctopusConfig  # noqa: E402
+from repro.graph import random_graph  # noqa: E402
+from repro.pim import CostModel  # noqa: E402
+
+#: Throughput multiplier the coalesced phase must show over serialized
+#: execution (CI overrides via the environment; local bar is higher).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SERVING_SPEEDUP", "2.0"))
+
+NUM_READERS = 8
+HOPS = 2
+#: In-flight futures each reader keeps queued at the scheduler (an async
+#: client's request pipeline); deep enough that the scheduler's drain
+#: window usually fills.
+PIPELINE_DEPTH = 8
+
+
+def _sizes() -> Tuple[int, int, int]:
+    """(nodes, edges, queries per reader) honoring the shared env knobs."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    per_reader = int(os.environ.get("REPRO_BENCH_SERVING_QUERIES", "48"))
+    return int(6000 * scale), int(24000 * scale), per_reader
+
+
+def _build_system(num_nodes: int, num_edges: int) -> Moctopus:
+    config = MoctopusConfig(
+        cost_model=CostModel(num_modules=16),
+        engine="vectorized",
+    )
+    system = Moctopus.from_graph(random_graph(num_nodes, num_edges, seed=13), config)
+    # Prime CSR bases / engine caches outside the timed region.
+    system.batch_khop(list(range(64)), HOPS, auto_migrate=False)
+    return system
+
+
+def _reader_sources(reader: int, per_reader: int, num_nodes: int) -> List[int]:
+    return [
+        (reader * 7919 + index * 104729) % num_nodes
+        for index in range(per_reader)
+    ]
+
+
+def _run_serialized(
+    system: Moctopus, per_reader: int, num_nodes: int
+) -> Tuple[float, Dict[Tuple[int, int], Set[int]]]:
+    """8 threads, each calling the live system one source at a time."""
+    answers: Dict[Tuple[int, int], Set[int]] = {}
+    answers_lock = threading.Lock()
+
+    def reader(reader_id: int) -> None:
+        for source in _reader_sources(reader_id, per_reader, num_nodes):
+            result, _ = system.batch_khop([source], HOPS, auto_migrate=False)
+            with answers_lock:
+                answers[(reader_id, source)] = result.destinations_of(0)
+
+    threads = [
+        threading.Thread(target=reader, args=(reader_id,))
+        for reader_id in range(NUM_READERS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, answers
+
+
+def _run_coalesced(
+    system: Moctopus,
+    per_reader: int,
+    num_nodes: int,
+    churn: bool = False,
+) -> Tuple[float, Dict[Tuple[int, int], Set[int]], int]:
+    """8 pipelined readers through one BatchScheduler (optional writer)."""
+    answers: Dict[Tuple[int, int], Set[int]] = {}
+    answers_lock = threading.Lock()
+    stop_writer = threading.Event()
+
+    def writer() -> None:
+        round_id = 0
+        while not stop_writer.is_set():
+            base = 100000 + round_id * 64
+            edges = [(base + offset, base + offset + 1) for offset in range(32)]
+            system.insert_edges(edges)
+            system.delete_edges(edges[::2])
+            round_id += 1
+            time.sleep(0.002)
+
+    with system.serve() as scheduler:
+        def reader(reader_id: int) -> None:
+            sources = _reader_sources(reader_id, per_reader, num_nodes)
+            pending: List[Tuple[int, object]] = []
+            for source in sources:
+                pending.append((source, scheduler.submit(source, HOPS)))
+                if len(pending) >= PIPELINE_DEPTH:
+                    done_source, future = pending.pop(0)
+                    with answers_lock:
+                        answers[(reader_id, done_source)] = future.result(60)
+            for done_source, future in pending:
+                with answers_lock:
+                    answers[(reader_id, done_source)] = future.result(60)
+
+        threads = [
+            threading.Thread(target=reader, args=(reader_id,))
+            for reader_id in range(NUM_READERS)
+        ]
+        writer_thread = threading.Thread(target=writer) if churn else None
+        start = time.perf_counter()
+        if writer_thread:
+            writer_thread.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if writer_thread:
+            stop_writer.set()
+            writer_thread.join()
+        batches = scheduler.batches_executed
+    return elapsed, answers, batches
+
+
+def run_sweep(verbose: bool = True) -> Dict[str, object]:
+    num_nodes, num_edges, per_reader = _sizes()
+    total_queries = NUM_READERS * per_reader
+    system = _build_system(num_nodes, num_edges)
+
+    serialized_seconds, serialized_answers = _run_serialized(
+        system, per_reader, num_nodes
+    )
+    coalesced_seconds, coalesced_answers, batches = _run_coalesced(
+        system, per_reader, num_nodes
+    )
+    if coalesced_answers != serialized_answers:
+        raise AssertionError("coalesced serving changed query answers")
+
+    # Liveness/isolation under churn (untimed): a writer publishes
+    # epochs while the readers stream; every query must still complete.
+    churn_seconds, churn_answers, _ = _run_coalesced(
+        system, max(8, per_reader // 4), num_nodes, churn=True
+    )
+    if len(churn_answers) != NUM_READERS * max(8, per_reader // 4):
+        raise AssertionError("queries lost under writer churn")
+    epochs_published = system._epochs.published_epochs
+
+    serialized_qps = total_queries / serialized_seconds
+    coalesced_qps = total_queries / coalesced_seconds
+    speedup = coalesced_qps / serialized_qps
+    rows = [
+        (
+            "serialized",
+            f"{serialized_seconds * 1000:.1f}",
+            f"{serialized_qps:.0f}",
+            total_queries,
+        ),
+        (
+            "coalesced",
+            f"{coalesced_seconds * 1000:.1f}",
+            f"{coalesced_qps:.0f}",
+            batches,
+        ),
+    ]
+    if verbose:
+        print()
+        print(
+            f"concurrent serving: {num_nodes} nodes / {num_edges} edges, "
+            f"{NUM_READERS} readers x {per_reader} single-source "
+            f"{HOPS}-hop queries"
+        )
+        print(
+            format_table(
+                ["phase", "wall-clock (ms)", "queries/s", "engine calls"], rows
+            )
+        )
+        print(
+            f"coalesced vs serialized throughput: {speedup:.2f}x "
+            f"(required >= {MIN_SPEEDUP:.1f}x); "
+            f"{epochs_published} epochs published under churn"
+        )
+    return {
+        "workload": {
+            "nodes": num_nodes,
+            "edges": num_edges,
+            "readers": NUM_READERS,
+            "queries_per_reader": per_reader,
+            "hops": HOPS,
+        },
+        "serialized_seconds": serialized_seconds,
+        "coalesced_seconds": coalesced_seconds,
+        "coalesced_engine_calls": batches,
+        "churn_seconds": churn_seconds,
+        "epochs_published": epochs_published,
+        "throughput_speedup": speedup,
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+
+
+def test_concurrent_serving_speedup():
+    """Headline: 8 coalesced readers >= 2x serialized throughput."""
+    report = run_sweep(verbose=True)
+    assert report["throughput_speedup"] >= MIN_SPEEDUP, (
+        f"coalesced serving {report['throughput_speedup']:.2f}x below the "
+        f"{MIN_SPEEDUP:.1f}x bar"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the report as JSON to PATH"
+    )
+    args = parser.parse_args()
+    report = run_sweep(verbose=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+    if report["throughput_speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {report['throughput_speedup']:.2f}x below "
+            f"{MIN_SPEEDUP:.1f}x",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

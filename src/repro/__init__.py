@@ -40,6 +40,12 @@ It contains:
     ``MoctopusConfig.engine`` and required to agree on every result and
     every simulated counter.
 
+``repro.serve``
+    The snapshot-isolated concurrent serving layer: immutable epoch
+    captures published by the single writer, pin-on-begin sessions with
+    a read-your-writes overlay, and a bounded batch scheduler that
+    coalesces concurrent client queries into engine-level batches.
+
 ``repro.baselines``
     The two comparison systems from the paper's evaluation: a
     RedisGraph-like single-node GraphBLAS engine and the PIM-hash scheme.
@@ -53,6 +59,7 @@ from repro.graph import BooleanMatrix, DiGraph, PropertyGraph
 from repro.pim import CostModel, PIMSystem
 from repro.rpq import KHopQuery, RPQuery
 from repro.core import Moctopus, MoctopusConfig
+from repro.serve import BatchScheduler, Session
 from repro.baselines import PIMHashSystem, RedisGraphEngine
 
 __version__ = "1.0.0"
@@ -69,5 +76,7 @@ __all__ = [
     "PIMSystem",
     "RPQuery",
     "KHopQuery",
+    "Session",
+    "BatchScheduler",
     "__version__",
 ]

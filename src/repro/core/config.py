@@ -16,7 +16,11 @@ ablations can sweep them:
   every result and every simulated counter;
 * the snapshot-maintenance knobs (``snapshot_compact_ratio``,
   ``snapshot_incremental``) controlling how the storages refresh their
-  cached CSR views between updates and queries.
+  cached CSR views between updates and queries;
+* the serving-layer knobs (``epoch_retention``, ``serve_queue_depth``,
+  ``serve_batch_window``) controlling how many published epochs stay
+  registered for lagging readers and how the batch scheduler admits and
+  coalesces concurrent client queries.
 """
 
 from __future__ import annotations
@@ -77,6 +81,20 @@ class MoctopusConfig:
     #: scalar rebuild — kept as a benchmark baseline and differential
     #: reference.
     snapshot_incremental: bool = True
+    #: How many epochs (the current one included) the serving layer's
+    #: :class:`~repro.serve.epoch.EpochManager` keeps registered, so
+    #: recent history stays inspectable for lagging readers.  Epochs
+    #: pinned by open sessions are always retained regardless of this
+    #: bound.
+    epoch_retention: int = 4
+    #: Bound of the serving layer's admission queue: how many client
+    #: queries may be waiting in a :class:`~repro.serve.scheduler.
+    #: BatchScheduler` before further submissions are rejected
+    #: (backpressure instead of unbounded memory growth).
+    serve_queue_depth: int = 64
+    #: Upper bound on how many queued client queries one scheduler pass
+    #: coalesces into a single engine-level batch.
+    serve_batch_window: int = 16
 
     def __post_init__(self) -> None:
         if self.pim_placement not in ("radical_greedy", "hash"):
@@ -98,6 +116,12 @@ class MoctopusConfig:
             raise ValueError("high_degree_threshold must be positive or None")
         if self.snapshot_compact_ratio < 0.0:
             raise ValueError("snapshot_compact_ratio must be >= 0")
+        if self.epoch_retention < 1:
+            raise ValueError("epoch_retention must be >= 1")
+        if self.serve_queue_depth < 1:
+            raise ValueError("serve_queue_depth must be >= 1")
+        if self.serve_batch_window < 1:
+            raise ValueError("serve_batch_window must be >= 1")
 
     @property
     def num_modules(self) -> int:

@@ -90,6 +90,33 @@ class QueryProcessor:
         """Execute a general regular path query."""
         return self._run(plan_query(query), query.sources)
 
+    def execute_on_view(
+        self, query, view, engine: Optional[ExecutionEngine] = None
+    ) -> Tuple[BatchResult, ExecutionStats]:
+        """Plan ``query`` and execute it against a pinned epoch view.
+
+        The serving layer's entry point: planning and lowering are the
+        same as the live path, but the physical plan runs on ``view``
+        (frozen owners and snapshots, private accounting platform) via a
+        per-session ``engine`` instance.  When no engine is supplied a
+        fresh one is created for the call — pinned executions must never
+        share the live engine's scratch state with concurrent live
+        queries.
+        """
+        if isinstance(query, (KHopQuery, RPQuery)):
+            plan = plan_query(query)
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+        physical = lower_plan(
+            plan,
+            default_fixpoint_iterations=self._max_fixpoint_iterations(
+                plan, view=view
+            ),
+        )
+        if engine is None:
+            engine = create_engine(self.engine.name, self._runtime)
+        return engine.execute(physical, query.sources, view=view)
+
     # ------------------------------------------------------------------
     # Lowering and delegation
     # ------------------------------------------------------------------
@@ -102,18 +129,24 @@ class QueryProcessor:
         )
         return self.engine.execute(physical, sources)
 
-    def _max_fixpoint_iterations(self, plan: LogicalPlan) -> int:
+    def _max_fixpoint_iterations(self, plan: LogicalPlan, view=None) -> int:
         """Bound on Kleene-closure iterations: rows x automaton states.
 
         A shortest path to any ``(node, state)`` frontier item visits
         each product-graph vertex at most once, so it is no longer than
         the number of stored rows times the number of DFA states; the
         frontier-dedup in both engines then drains the fixpoint as soon
-        as an iteration produces nothing new.
+        as an iteration produces nothing new.  Pinned executions bound
+        against the view's frozen row counts instead of the live ones.
         """
-        runtime = self._runtime
-        stored_rows = sum(storage.num_rows for storage in runtime.module_storages)
-        stored_rows += runtime.host_storage.num_rows
+        if view is not None:
+            stored_rows = view.total_rows()
+        else:
+            runtime = self._runtime
+            stored_rows = sum(
+                storage.num_rows for storage in runtime.module_storages
+            )
+            stored_rows += runtime.host_storage.num_rows
         bound = max(1, stored_rows)
         if plan.dfa is not None:
             bound *= max(1, plan.dfa.num_states)

@@ -55,6 +55,9 @@ import numpy as np
 DEFAULT_SNAPSHOT_COMPACT_RATIO = 0.25
 
 _EMPTY = np.empty(0, dtype=np.int64)
+# The empty column is shared by every empty snapshot; freeze it so no
+# published snapshot can be mutated through the shared instance.
+_EMPTY.flags.writeable = False
 
 #: A row's adjacency entries as the storages hand them over.
 RowEntries = List[Tuple[int, int]]
@@ -109,6 +112,52 @@ class GraphSnapshot:
         positions = np.minimum(positions, self.num_rows - 1)
         found = self.node_ids[positions] == nodes
         return np.where(found, positions, -1)
+
+    def row_index(self, node: int) -> int:
+        """Row index of a single node id (``-1`` when absent)."""
+        count = self.num_rows
+        if count == 0:
+            return -1
+        position = int(np.searchsorted(self.node_ids, node))
+        if position < count and int(self.node_ids[position]) == node:
+            return position
+        return -1
+
+    def row_entries(self, node: int) -> RowEntries:
+        """``(dst, label)`` entries of ``node``'s row, in stored order.
+
+        Empty when the row is absent — the same contract as the storages'
+        ``next_hops_with_labels``, which is what lets the scalar engine
+        expand frontiers against a pinned snapshot instead of the live
+        storage.
+        """
+        row = self.row_index(node)
+        if row < 0:
+            return []
+        start, stop = int(self.indptr[row]), int(self.indptr[row + 1])
+        return list(
+            zip(self.dsts[start:stop].tolist(), self.labels[start:stop].tolist())
+        )
+
+    def freeze(self) -> "GraphSnapshot":
+        """Mark every array read-only and return ``self``.
+
+        Published snapshots are shared by reference between the storage
+        cache, pinned serving epochs and the engines; freezing turns any
+        accidental in-place mutation of a handed-out base into an
+        immediate ``ValueError`` instead of silent corruption of every
+        reader.
+        """
+        for array in (
+            self.node_ids,
+            self.indptr,
+            self.dsts,
+            self.labels,
+            self.local_counts,
+            self.degrees,
+        ):
+            array.flags.writeable = False
+        return self
 
     def same_arrays(self, other: "GraphSnapshot") -> bool:
         """Array-for-array equality (the incremental-maintenance contract)."""
@@ -407,7 +456,9 @@ class SnapshotCache:
                 self.merges += 1
         self.overlay.clear()
         self.builds += 1
-        return self.base
+        # Published bases are shared by reference (engines, pinned serving
+        # epochs); freeze so no caller can mutate a handed-out snapshot.
+        return self.base.freeze()
 
 
 def merge_snapshot(

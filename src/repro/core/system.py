@@ -27,7 +27,8 @@ figures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import threading
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import MoctopusConfig
 from repro.core.hetero_storage import HeterogeneousGraphStorage
@@ -41,9 +42,14 @@ from repro.graph.digraph import DEFAULT_LABEL, DiGraph
 from repro.graph.stream import UpdateOp
 from repro.partition.base import HOST_PARTITION
 from repro.partition.metrics import PartitionQuality, evaluate_partition
+from repro.partition.owner_index import OwnerIndex
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import PIMSystem
 from repro.rpq.query import BatchResult, KHopQuery, RPQuery
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.serve.scheduler import BatchScheduler
+    from repro.serve.session import Session
 
 
 class Moctopus:
@@ -109,6 +115,23 @@ class Moctopus:
         )
         #: Stats of the most recent post-query maintenance pass (migrations).
         self.last_maintenance_stats: Optional[ExecutionStats] = None
+        #: Serializes the live/writer path (updates, live queries,
+        #: migrations, epoch captures).  Pinned session/scheduler
+        #: executions run *outside* this lock on frozen arrays.
+        self._serve_lock = threading.RLock()
+        #: Owner-table capture cache for epoch publishing (journal-patched
+        #: between captures; each epoch takes a frozen copy).
+        self._owner_capture = OwnerIndex()
+        # Imported lazily: repro.serve sits above repro.core, so a
+        # module-level import here would be circular.
+        from repro.serve.epoch import EpochManager
+
+        #: Epoch publish/pin lifecycle of the serving layer.
+        self._epochs = EpochManager(
+            self._capture_epoch,
+            retention=self.config.epoch_retention,
+            lock=self._serve_lock,
+        )
 
     # ------------------------------------------------------------------
     # Construction / loading
@@ -132,13 +155,15 @@ class Moctopus:
         partitioner sees the same stream a growing database would have
         produced.
         """
-        for src, dst, label in graph.labeled_edges():
-            self._ingest_edge(src, dst, label)
-        for node in graph.nodes():
-            if self._partitioner.partition_of(node) is None:
-                self._partitioner.assign_node(node)
-                self._mirror.add_node(node)
-                self._ensure_row(node)
+        with self._serve_lock:
+            for src, dst, label in graph.labeled_edges():
+                self._ingest_edge(src, dst, label)
+            for node in graph.nodes():
+                if self._partitioner.partition_of(node) is None:
+                    self._partitioner.assign_node(node)
+                    self._mirror.add_node(node)
+                    self._ensure_row(node)
+            self._epochs.mark_stale()
 
     def _ingest_edge(self, src: int, dst: int, label: int = DEFAULT_LABEL) -> None:
         previous = self._partitioner.partition_of(src)
@@ -156,6 +181,21 @@ class Moctopus:
             self._host_storage.insert_edge(src, dst, label)
         else:
             self._module_storages[src_partition].add_edge(src, dst, label)
+
+    def _capture_epoch(self):
+        """Capture the frozen state of a new serving epoch.
+
+        Called by the :class:`~repro.serve.epoch.EpochManager` under the
+        serve lock.  Cheap by design: ``to_csr()`` is a cache hit for
+        every storage the last update batch didn't touch, and the owner
+        table is journal-patched then copied once.
+        """
+        snapshots = tuple(
+            storage.to_csr() for storage in self._module_storages
+        ) + (self._host_storage.to_csr(),)
+        self._owner_capture.refresh(self._partitioner.partition_map)
+        owners = self._owner_capture.frozen_copy()
+        return snapshots, owners, self._mirror.num_nodes, self._mirror.num_edges
 
     def _ensure_row(self, node: int, partition: Optional[int] = None) -> None:
         partition = (
@@ -178,21 +218,23 @@ class Moctopus:
     ) -> Tuple[BatchResult, ExecutionStats]:
         """Run a batch k-hop path query (the paper's RPQ workload)."""
         query = KHopQuery(hops=hops, sources=list(sources))
-        result, stats = self._query_processor.execute_khop(query)
-        self._maybe_migrate(auto_migrate)
+        with self._serve_lock:
+            result, stats = self._query_processor.execute_khop(query)
+            self._maybe_migrate(auto_migrate)
         return result, stats
 
     def execute(
         self, query, auto_migrate: Optional[bool] = None
     ) -> Tuple[BatchResult, ExecutionStats]:
         """Run a :class:`KHopQuery` or a general :class:`RPQuery`."""
-        if isinstance(query, KHopQuery):
-            result, stats = self._query_processor.execute_khop(query)
-        elif isinstance(query, RPQuery):
-            result, stats = self._query_processor.execute_rpq(query)
-        else:
-            raise TypeError(f"unsupported query type {type(query).__name__}")
-        self._maybe_migrate(auto_migrate)
+        with self._serve_lock:
+            if isinstance(query, KHopQuery):
+                result, stats = self._query_processor.execute_khop(query)
+            elif isinstance(query, RPQuery):
+                result, stats = self._query_processor.execute_rpq(query)
+            else:
+                raise TypeError(f"unsupported query type {type(query).__name__}")
+            self._maybe_migrate(auto_migrate)
         return result, stats
 
     def _maybe_migrate(self, auto_migrate: Optional[bool]) -> None:
@@ -208,14 +250,17 @@ class Moctopus:
         pass (charged to a separate operation, off the query critical
         path, as in the paper).
         """
-        operation = self.pim.begin_operation()
-        with operation.phase("migration"):
-            moved = self._migrator.apply_migrations(
-                op=operation, limit=self.config.max_migrations_per_query
-            )
-        stats = operation.finish()
-        stats.add_counter("migrations", moved)
-        self.last_maintenance_stats = stats
+        with self._serve_lock:
+            operation = self.pim.begin_operation()
+            with operation.phase("migration"):
+                moved = self._migrator.apply_migrations(
+                    op=operation, limit=self.config.max_migrations_per_query
+                )
+            stats = operation.finish()
+            stats.add_counter("migrations", moved)
+            self.last_maintenance_stats = stats
+            if moved:
+                self._epochs.mark_stale()
         return moved, stats
 
     # ------------------------------------------------------------------
@@ -225,15 +270,64 @@ class Moctopus:
         self, edges: List[Tuple[int, int]], labels: Optional[List[int]] = None
     ) -> ExecutionStats:
         """Insert a batch of edges and return the simulated cost."""
-        return self._update_processor.insert_edges(edges, labels=labels)
+        with self._serve_lock:
+            stats = self._update_processor.insert_edges(edges, labels=labels)
+            self._epochs.mark_stale()
+        return stats
 
     def delete_edges(self, edges: List[Tuple[int, int]]) -> ExecutionStats:
         """Delete a batch of edges and return the simulated cost."""
-        return self._update_processor.delete_edges(edges)
+        with self._serve_lock:
+            stats = self._update_processor.delete_edges(edges)
+            self._epochs.mark_stale()
+        return stats
 
-    def apply_updates(self, ops: List[UpdateOp]) -> ExecutionStats:
+    def apply_updates(
+        self, ops: List[UpdateOp], labels: Optional[List[int]] = None
+    ) -> ExecutionStats:
         """Apply a mixed stream of :class:`~repro.graph.stream.UpdateOp`."""
-        return self._update_processor.apply_batch(ops)
+        with self._serve_lock:
+            stats = self._update_processor.apply_batch(ops, labels=labels)
+            self._epochs.mark_stale()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Serving (snapshot-isolated sessions and coalesced scheduling)
+    # ------------------------------------------------------------------
+    def begin(self, engine: Optional[str] = None) -> "Session":
+        """Open a snapshot-isolated :class:`~repro.serve.session.Session`.
+
+        The session pins the latest published epoch: its queries never
+        observe writes applied after ``begin()`` until it ``refresh()``\\ es,
+        and updates staged through the session are visible to the session
+        immediately (read-your-writes) but to nobody else until
+        ``commit()``.  ``engine`` optionally overrides the backend for
+        this session only.
+        """
+        from repro.serve.session import Session
+
+        return Session(self, engine=engine)
+
+    def serve(self, engine: Optional[str] = None, **kwargs) -> "BatchScheduler":
+        """Start a :class:`~repro.serve.scheduler.BatchScheduler`.
+
+        The scheduler admits concurrent single-source k-hop queries into
+        a bounded queue and coalesces them into engine-level batches
+        executed against the latest epoch.  Close it (or use it as a
+        context manager) when done.
+        """
+        from repro.serve.scheduler import BatchScheduler
+
+        return BatchScheduler(self, engine=engine, **kwargs)
+
+    @property
+    def current_epoch_id(self) -> int:
+        """Id of the latest published epoch (publishing one if stale)."""
+        return self._epochs.current().epoch_id
+
+    def serving_report(self) -> Dict[int, Dict[str, int]]:
+        """Per-epoch serving counters (queries answered, batches run)."""
+        return self._epochs.serving_report()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -272,8 +366,9 @@ class Moctopus:
         swapping mid-run is safe and is how the engine benchmarks
         compare wall-clock cost.
         """
-        self._query_processor.use_engine(name)
-        self._update_processor.use_engine(name)
+        with self._serve_lock:
+            self._query_processor.use_engine(name)
+            self._update_processor.use_engine(name)
 
     def partition_of(self, node: int) -> Optional[int]:
         """Partition of ``node`` (``-1`` = host)."""

@@ -27,6 +27,8 @@ from typing import (
     runtime_checkable,
 )
 
+import numpy as np
+
 from repro.engine.physical import PhysicalPlan
 from repro.partition.base import HOST_PARTITION
 from repro.pim.stats import ExecutionStats
@@ -54,6 +56,45 @@ Frontier = Dict[int, Dict[int, ContextSet]]
 
 #: Names accepted by :func:`create_engine` / ``MoctopusConfig.engine``.
 ENGINE_NAMES = ("python", "vectorized")
+
+
+@runtime_checkable
+class PlanView(Protocol):
+    """A frozen, epoch-pinned substitute for the live system state.
+
+    The serving layer (:mod:`repro.serve`) hands one of these to
+    ``ExecutionEngine.execute`` to run a plan against an immutable
+    epoch capture instead of the live storages: owner lookups resolve
+    against the epoch's frozen partition table, adjacency reads against
+    the epoch's (possibly session-patched) CSR snapshots, and simulated
+    work is charged to the view's private accounting platform so
+    concurrent pinned executions never share mutable phase counters.
+
+    Pinned execution never reports misplacement — the reports would be
+    derived from a stale epoch — so both engines skip detection when a
+    view is supplied, keeping their outputs bit-identical.
+    """
+
+    #: Identifier of the pinned epoch (stamped into query stats).
+    epoch_id: int
+    #: Private accounting platform for this view's executions.
+    pim: PIMSystem
+
+    def owner(self, node: int) -> Optional[int]:
+        """Partition owning ``node`` at the pinned epoch (``None`` unknown)."""
+        ...
+
+    def owners_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized owner lookup (``OwnerIndex.UNKNOWN`` when unplaced)."""
+        ...
+
+    def snapshot_of(self, partition: int) -> "GraphSnapshot":
+        """Pinned CSR snapshot of ``partition``'s adjacency segment."""
+        ...
+
+    def total_rows(self) -> int:
+        """Total adjacency rows across all pinned snapshots."""
+        ...
 
 
 @dataclass
@@ -88,9 +129,17 @@ class ExecutionEngine(Protocol):
     name: str
 
     def execute(
-        self, plan: PhysicalPlan, sources: List[int]
+        self,
+        plan: PhysicalPlan,
+        sources: List[int],
+        view: Optional[PlanView] = None,
     ) -> Tuple[BatchResult, ExecutionStats]:
-        """Run ``plan`` for the batch ``sources`` on the simulated system."""
+        """Run ``plan`` for the batch ``sources`` on the simulated system.
+
+        With ``view`` supplied, the plan executes against the pinned
+        epoch capture (frozen owners + snapshots, private accounting)
+        instead of the live storages.
+        """
         ...
 
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.operators import BYTES_PER_FRONTIER_ITEM
 from repro.engine.accounting import charge_dispatch, charge_reduce
-from repro.engine.base import EngineRuntime, Frontier
+from repro.engine.base import EngineRuntime, Frontier, PlanView
 from repro.engine.physical import PhysicalPlan, run_plan
 from repro.partition.base import HOST_PARTITION
 from repro.pim.stats import ExecutionStats
@@ -33,15 +33,28 @@ class PythonEngine:
 
     def __init__(self, runtime: EngineRuntime) -> None:
         self._runtime = runtime
+        #: Epoch-pinned state substitute for the current ``execute`` call
+        #: (``None`` = live storages).  See :class:`PlanView`.
+        self._view: Optional[PlanView] = None
+
+    def _owner(self, node: int) -> Optional[int]:
+        """Owner of ``node`` — frozen epoch table when pinned, else live."""
+        if self._view is not None:
+            return self._view.owner(node)
+        return self._runtime.owner(node)
 
     # ------------------------------------------------------------------
     # Plan execution
     # ------------------------------------------------------------------
     def execute(
-        self, plan: PhysicalPlan, sources: List[int]
+        self,
+        plan: PhysicalPlan,
+        sources: List[int],
+        view: Optional[PlanView] = None,
     ) -> Tuple[BatchResult, ExecutionStats]:
         runtime = self._runtime
-        op = runtime.pim.begin_operation()
+        self._view = view
+        op = (view.pim if view is not None else runtime.pim).begin_operation()
         dfa = plan.dfa
         accumulate = plan.accumulate_results
         results: List[Set[int]] = [set() for _ in sources]
@@ -76,13 +89,18 @@ class PythonEngine:
         def reduce() -> None:
             self._run_reduce_phase(op, state["frontier"], results, accumulate, dfa)
 
-        run_plan(
-            plan,
-            dispatch=dispatch,
-            expand_route=expand_route,
-            clear_frontier=clear_frontier,
-            reduce=reduce,
-        )
+        try:
+            run_plan(
+                plan,
+                dispatch=dispatch,
+                expand_route=expand_route,
+                clear_frontier=clear_frontier,
+                reduce=reduce,
+            )
+        finally:
+            # Never let a pinned epoch outlive the call through engine
+            # scratch state.
+            self._view = None
 
         stats = op.finish()
         stats.add_counter(
@@ -100,11 +118,10 @@ class PythonEngine:
         results: List[Set[int]],
         accumulate: bool,
     ) -> Tuple[Frontier, int]:
-        runtime = self._runtime
         frontier: Frontier = {}
         skipped = 0
         for row, source in enumerate(sources):
-            owner = runtime.owner(source)
+            owner = self._owner(source)
             if owner is None:
                 skipped += 1
                 continue
@@ -180,9 +197,26 @@ class PythonEngine:
         dfa: Optional[DFA],
     ) -> Dict[int, ContextSet]:
         runtime = self._runtime
-        processor = runtime.processors[module_id]
         module = op.module(module_id)
         module.launch_kernel()
+        view = self._view
+        if view is not None:
+            # Pinned execution: expand against the epoch's frozen CSR
+            # snapshot with the same per-row accounting the live
+            # OperatorProcessor charges; misplacement detection is off
+            # (reports from a stale epoch would misdirect the migrator).
+            snapshot = view.snapshot_of(module_id)
+            produced, rows_touched, streamed, items = self._expand_rows(
+                partition_frontier,
+                dfa,
+                snapshot.row_entries,
+                lambda node, hops: len(hops) * snapshot.bytes_per_entry,
+            )
+            module.random_accesses(rows_touched)
+            module.stream_bytes(streamed)
+            module.process_items(items)
+            return produced
+        processor = runtime.processors[module_id]
         detect = runtime.config.enable_migration
         produced, work = processor.process_smxm(
             partition_frontier,
@@ -197,22 +231,30 @@ class PythonEngine:
             runtime.migrator.report_misplaced(node, local, remote)
         return produced
 
-    def _expand_on_host(
+    def _expand_rows(
         self,
-        op: OperationContext,
         partition_frontier: Dict[int, ContextSet],
         dfa: Optional[DFA],
-    ) -> Dict[int, ContextSet]:
+        fetch_row,
+        row_bytes,
+    ) -> Tuple[Dict[int, ContextSet], int, int, int]:
+        """The shared per-row expansion loop (OperatorProcessor semantics).
+
+        ``fetch_row(node)`` supplies a row's ``(dst, label)`` entries and
+        ``row_bytes(node, entries)`` its streamed bytes — the only two
+        things that differ between the live host storage and a pinned
+        CSR snapshot.  Keeping one loop keeps the pinned-vs-live and
+        cross-engine accounting parity in one place.
+        """
         runtime = self._runtime
         produced: Dict[int, ContextSet] = {}
-        working_set = max(runtime.host_storage.total_bytes(), 1)
         rows_touched = 0
         streamed = 0
         items = 0
         for node, contexts in partition_frontier.items():
-            next_hops = runtime.host_storage.next_hops_with_labels(node)
+            next_hops = fetch_row(node)
             rows_touched += 1
-            streamed += runtime.host_storage.row_bytes(node)
+            streamed += row_bytes(node, next_hops)
             for destination, label in next_hops:
                 if dfa is None:
                     items += len(contexts)
@@ -226,6 +268,29 @@ class PythonEngine:
                         if next_state is None:
                             continue
                         produced.setdefault(destination, set()).add((row, next_state))
+        return produced, rows_touched, streamed, items
+
+    def _expand_on_host(
+        self,
+        op: OperationContext,
+        partition_frontier: Dict[int, ContextSet],
+        dfa: Optional[DFA],
+    ) -> Dict[int, ContextSet]:
+        runtime = self._runtime
+        view = self._view
+        if view is not None:
+            snapshot = view.snapshot_of(HOST_PARTITION)
+            working_set = snapshot.working_set_bytes
+            fetch_row = snapshot.row_entries
+            row_bytes = lambda node, hops: len(hops) * snapshot.bytes_per_entry  # noqa: E731
+        else:
+            storage = runtime.host_storage
+            working_set = max(storage.total_bytes(), 1)
+            fetch_row = storage.next_hops_with_labels
+            row_bytes = lambda node, hops: storage.row_bytes(node)  # noqa: E731
+        produced, rows_touched, streamed, items = self._expand_rows(
+            partition_frontier, dfa, fetch_row, row_bytes
+        )
         op.host.random_accesses(rows_touched, working_set)
         op.host.stream_bytes(streamed)
         op.host.process_items(items)
@@ -242,11 +307,10 @@ class PythonEngine:
         accumulate: bool,
         seen: Set[Tuple[int, Context]],
     ) -> Tuple[int, int]:
-        runtime = self._runtime
         cpc_items = 0
         ipc_items: Dict[int, int] = {}
         for destination, contexts in produced.items():
-            owner = runtime.owner(destination)
+            owner = self._owner(destination)
             if owner is None:
                 # Dangling edge: the destination node has never been
                 # registered (can happen transiently during updates).

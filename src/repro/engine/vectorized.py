@@ -190,23 +190,51 @@ class VectorizedEngine:
         #: Version-cached vectorized owner lookups over the partition map
         #: (shared implementation with the vectorized update path).
         self._owner_index = OwnerIndex()
+        #: Epoch-pinned state substitute for the current ``execute`` call
+        #: (``None`` = live storages).  See :class:`~repro.engine.base.PlanView`.
+        self._view = None
 
     # ------------------------------------------------------------------
     # Plan execution
     # ------------------------------------------------------------------
     def execute(
-        self, plan: PhysicalPlan, sources: List[int]
+        self,
+        plan: PhysicalPlan,
+        sources: List[int],
+        view=None,
     ) -> Tuple[BatchResult, ExecutionStats]:
-        # Node placement cannot change mid-query (migrations run after
-        # the answer is complete), so one refresh covers the whole plan.
-        self._owner_index.refresh(self._runtime.partitioner.partition_map)
-        if plan.dfa is None:
-            return self._execute_bitset(plan, sources)
-        return self._execute_keys(plan, sources)
+        self._view = view
+        try:
+            if view is None:
+                # Node placement cannot change mid-query (migrations run
+                # after the answer is complete), so one refresh covers
+                # the whole plan.
+                self._owner_index.refresh(self._runtime.partitioner.partition_map)
+            if plan.dfa is None:
+                return self._execute_bitset(plan, sources)
+            return self._execute_keys(plan, sources)
+        finally:
+            # Never let a pinned epoch outlive the call through engine
+            # scratch state.
+            self._view = None
+
+    def _begin_op(self) -> OperationContext:
+        """Open an accounting operation on the live platform, or on the
+        pinned view's private platform (concurrent-execution safe)."""
+        pim = self._view.pim if self._view is not None else self._runtime.pim
+        return pim.begin_operation()
 
     def _owners_of(self, nodes: np.ndarray) -> np.ndarray:
         """Owner partition per node (``_UNKNOWN_OWNER`` when unplaced)."""
+        if self._view is not None:
+            return self._view.owners_of(nodes)
         return self._owner_index.owners_of(nodes)
+
+    def _snapshot_of(self, partition: int):
+        """Adjacency snapshot of ``partition`` — pinned when a view is set."""
+        if self._view is not None:
+            return self._view.snapshot_of(partition)
+        return self._runtime.snapshot_of(partition)
 
     # ==================================================================
     # Bit-mask path (pure k-hop plans: contexts are bare query rows)
@@ -214,7 +242,7 @@ class VectorizedEngine:
     def _execute_bitset(
         self, plan: PhysicalPlan, sources: List[int]
     ) -> Tuple[BatchResult, ExecutionStats]:
-        op = self._runtime.pim.begin_operation()
+        op = self._begin_op()
         results: List[Set[int]] = [set() for _ in sources]
         self._num_words = max(1, (len(sources) + 63) // 64)
         self._num_rows = len(sources)
@@ -349,7 +377,7 @@ class VectorizedEngine:
         OR of the source masks (per-producer set semantics for free)."""
         runtime = self._runtime
         nodes, masks = block
-        snapshot = runtime.snapshot_of(partition)
+        snapshot = self._snapshot_of(partition)
 
         row_idx = snapshot.lookup(nodes)
         if snapshot.num_rows == 0:
@@ -373,7 +401,7 @@ class VectorizedEngine:
             module.random_accesses(rows_touched)
             module.stream_bytes(bytes_streamed)
             module.process_items(items_processed)
-            if runtime.config.enable_migration:
+            if runtime.config.enable_migration and self._view is None:
                 self._report_misplacement(
                     snapshot, nodes, row_idx, degrees,
                     runtime.processors[partition].misplacement_threshold,
@@ -469,7 +497,7 @@ class VectorizedEngine:
         self, plan: PhysicalPlan, sources: List[int]
     ) -> Tuple[BatchResult, ExecutionStats]:
         runtime = self._runtime
-        op = runtime.pim.begin_operation()
+        op = self._begin_op()
         dfa = plan.dfa
         accumulate = plan.accumulate_results
         results: List[Set[int]] = [set() for _ in sources]
@@ -679,7 +707,7 @@ class VectorizedEngine:
         (with duplicates — the router owns set semantics)."""
         runtime = self._runtime
         nodes, rows, states = self._unpack(frontier_keys)
-        snapshot = runtime.snapshot_of(partition)
+        snapshot = self._snapshot_of(partition)
 
         # ``nodes`` is sorted node-major, so unique/counts align with a
         # contiguous grouping of the items.
@@ -706,7 +734,7 @@ class VectorizedEngine:
             module.random_accesses(rows_touched)
             module.stream_bytes(bytes_streamed)
             module.process_items(items_processed)
-            if runtime.config.enable_migration:
+            if runtime.config.enable_migration and self._view is None:
                 self._report_misplacement(
                     snapshot, unique_nodes, row_idx, degrees,
                     runtime.processors[partition].misplacement_threshold,

@@ -96,6 +96,40 @@ class OwnerIndex:
             self._parts = parts[order]
         self._version = partition_map.version
 
+    def owner_of(self, node: int) -> int:
+        """Owner partition of one node (:data:`UNKNOWN` when unplaced)."""
+        dense = self._dense
+        if dense is not None:
+            if 0 <= node < dense.size:
+                return int(dense[node])
+            return self.UNKNOWN
+        owner_nodes = self._nodes
+        if owner_nodes is None or owner_nodes.size == 0:
+            return self.UNKNOWN
+        position = int(np.searchsorted(owner_nodes, node))
+        if position < owner_nodes.size and int(owner_nodes[position]) == node:
+            return int(self._parts[position])
+        return self.UNKNOWN
+
+    def frozen_copy(self) -> "OwnerIndex":
+        """Point-in-time, read-only copy of the current lookup structure.
+
+        Serving epochs capture the owner table with this: the live index
+        keeps patching its arrays in place as the partition map journals
+        new placements, so a pinned epoch needs its own immutable copy.
+        """
+        copy = OwnerIndex()
+        copy._version = self._version
+        if self._dense is not None:
+            copy._dense = self._dense.copy()
+            copy._dense.flags.writeable = False
+        if self._nodes is not None:
+            copy._nodes = self._nodes.copy()
+            copy._nodes.flags.writeable = False
+            copy._parts = self._parts.copy()
+            copy._parts.flags.writeable = False
+        return copy
+
     def owners_of(self, nodes: np.ndarray) -> np.ndarray:
         """Owner partition per node (:data:`UNKNOWN` when unplaced)."""
         dense = self._dense

@@ -1,0 +1,291 @@
+"""Epochs: immutable point-in-time captures of the served graph.
+
+The serving layer gives every reader a **snapshot-isolated** view of the
+system: a reader pins an :class:`Epoch` — the frozen CSR snapshots of
+every storage plus a frozen copy of the node-partition table — and all
+of its queries execute against those arrays no matter how far the
+single writer advances in the meantime.  Capturing an epoch is cheap by
+construction: the storages' :class:`~repro.core.snapshot.SnapshotCache`
+already maintains immutable CSR bases incrementally, so a capture is
+``to_csr()`` per storage (a cache hit when nothing changed since the
+last refresh) plus one memcpy of the owner table.
+
+:class:`EpochManager` owns the publish lifecycle.  The single writer
+marks the current epoch **stale** after every update batch / migration
+pass; the next pin atomically captures and publishes a fresh epoch.
+Old epochs stay registered (bounded by ``MoctopusConfig.epoch_retention``)
+while pinned epochs are retained unconditionally — a session holding
+epoch N keeps its arrays alive and bit-identical however many
+compactions, merges and row migrations later epochs absorb.
+
+:class:`EpochView` is the lens an execution engine actually receives
+(the :class:`~repro.engine.base.PlanView` contract): the epoch's frozen
+state, optionally patched with a session's uncommitted writes
+(read-your-writes), plus a private accounting
+:class:`~repro.pim.system.PIMSystem` so concurrent pinned executions
+never share mutable phase counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.snapshot import GraphSnapshot
+from repro.partition.base import HOST_PARTITION
+from repro.partition.owner_index import OwnerIndex
+from repro.pim.system import PIMSystem
+
+
+class Epoch:
+    """One immutable published version of the served graph.
+
+    ``snapshots`` holds the per-module CSR captures followed by the host
+    capture (index ``num_modules``); ``owners`` is a frozen
+    :class:`OwnerIndex` copy of the partition table at capture time.
+    """
+
+    __slots__ = (
+        "epoch_id",
+        "snapshots",
+        "owners",
+        "num_nodes",
+        "num_edges",
+        "num_modules",
+    )
+
+    def __init__(
+        self,
+        epoch_id: int,
+        snapshots: Tuple[GraphSnapshot, ...],
+        owners: OwnerIndex,
+        num_nodes: int,
+        num_edges: int,
+    ) -> None:
+        self.epoch_id = epoch_id
+        self.snapshots = snapshots
+        self.owners = owners
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.num_modules = len(snapshots) - 1
+
+    def snapshot_of(self, partition: int) -> GraphSnapshot:
+        """Pinned snapshot of ``partition`` (``HOST_PARTITION`` = host)."""
+        if partition == HOST_PARTITION:
+            return self.snapshots[self.num_modules]
+        return self.snapshots[partition]
+
+    def owner(self, node: int) -> Optional[int]:
+        """Owner of ``node`` at this epoch (``None`` when unplaced)."""
+        owner = self.owners.owner_of(node)
+        return None if owner == OwnerIndex.UNKNOWN else owner
+
+    def owners_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized owner lookup against the frozen partition table."""
+        return self.owners.owners_of(nodes)
+
+    def total_rows(self) -> int:
+        """Total adjacency rows across every pinned snapshot."""
+        return sum(snapshot.num_rows for snapshot in self.snapshots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Epoch(id={self.epoch_id}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+
+class EpochView:
+    """A :class:`~repro.engine.base.PlanView` over one pinned epoch.
+
+    ``patched`` optionally overrides per-partition snapshots with
+    session-patched ones (uncommitted writes spliced in with
+    :func:`~repro.core.snapshot.merge_snapshot`); ``extra_owners`` maps
+    session-created nodes to their provisional partitions so the
+    engines can route frontiers through rows that exist only in the
+    session's overlay.
+    """
+
+    def __init__(
+        self,
+        epoch: Epoch,
+        pim: PIMSystem,
+        patched: Optional[Dict[int, GraphSnapshot]] = None,
+        extra_owners: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.epoch = epoch
+        #: Private accounting platform (PlanView contract).
+        self.pim = pim
+        self._patched = patched or {}
+        self._extra_owners = extra_owners or {}
+
+    @property
+    def epoch_id(self) -> int:
+        """Identifier of the pinned epoch."""
+        return self.epoch.epoch_id
+
+    def snapshot_of(self, partition: int) -> GraphSnapshot:
+        """Pinned (possibly session-patched) snapshot of ``partition``."""
+        patched = self._patched.get(partition)
+        if patched is not None:
+            return patched
+        return self.epoch.snapshot_of(partition)
+
+    def owner(self, node: int) -> Optional[int]:
+        """Owner at the pinned epoch, extended with session-local nodes."""
+        extra = self._extra_owners.get(node)
+        if extra is not None:
+            return extra
+        return self.epoch.owner(node)
+
+    def owners_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized owner lookup, extended with session-local nodes."""
+        owners = self.epoch.owners_of(nodes)
+        if self._extra_owners:
+            for position in np.flatnonzero(owners == OwnerIndex.UNKNOWN).tolist():
+                owners[position] = self._extra_owners.get(
+                    int(nodes[position]), OwnerIndex.UNKNOWN
+                )
+        return owners
+
+    def total_rows(self) -> int:
+        """Total adjacency rows across the view's snapshots."""
+        total = 0
+        for partition in range(self.epoch.num_modules):
+            total += self.snapshot_of(partition).num_rows
+        return total + self.snapshot_of(HOST_PARTITION).num_rows
+
+
+class EpochManager:
+    """Publishes, pins and retires epochs (single-writer / many-reader).
+
+    All state transitions run under the lock shared with the owning
+    system, so a capture can never interleave with a half-applied update
+    batch: the writer holds the lock while mutating and marks the
+    manager stale; the next ``pin()``/``current()`` captures a fresh
+    epoch atomically under the same lock.
+    """
+
+    def __init__(
+        self,
+        capture: Callable[[], Tuple[Tuple[GraphSnapshot, ...], OwnerIndex, int, int]],
+        retention: int,
+        lock: Optional[threading.RLock] = None,
+    ) -> None:
+        self._capture = capture
+        self._retention = retention
+        self._lock = lock if lock is not None else threading.RLock()
+        self._epochs: "OrderedDict[int, Epoch]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self._current: Optional[Epoch] = None
+        self._stale = True
+        self._next_id = 0
+        #: Per-epoch serving counters: queries answered, batches executed.
+        self._served: Dict[int, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Publish lifecycle
+    # ------------------------------------------------------------------
+    def mark_stale(self) -> None:
+        """The live state moved past the current epoch (writer-side)."""
+        with self._lock:
+            self._stale = True
+
+    def current(self) -> Epoch:
+        """The latest epoch, capturing and publishing a fresh one if stale."""
+        with self._lock:
+            if self._stale or self._current is None:
+                snapshots, owners, num_nodes, num_edges = self._capture()
+                epoch = Epoch(
+                    epoch_id=self._next_id,
+                    snapshots=snapshots,
+                    owners=owners,
+                    num_nodes=num_nodes,
+                    num_edges=num_edges,
+                )
+                self._next_id += 1
+                self._epochs[epoch.epoch_id] = epoch
+                self._current = epoch
+                self._stale = False
+                self._evict()
+            return self._current
+
+    def _evict(self) -> None:
+        """Drop the oldest unpinned epochs past the retention bound."""
+        overflow = len(self._epochs) - self._retention
+        if overflow <= 0:
+            return
+        for epoch_id in list(self._epochs):
+            if overflow <= 0:
+                break
+            if epoch_id == self._current.epoch_id:
+                continue
+            if self._pins.get(epoch_id, 0) > 0:
+                continue
+            del self._epochs[epoch_id]
+            # Retire the serving counters with the epoch, or a
+            # publish-per-batch service leaks one dict per epoch forever.
+            self._served.pop(epoch_id, None)
+            overflow -= 1
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pin(self) -> Epoch:
+        """Pin (and if necessary publish) the latest epoch."""
+        with self._lock:
+            epoch = self.current()
+            self._pins[epoch.epoch_id] = self._pins.get(epoch.epoch_id, 0) + 1
+            return epoch
+
+    def unpin(self, epoch: Epoch) -> None:
+        """Release one pin of ``epoch``; unpinned old epochs may retire."""
+        with self._lock:
+            count = self._pins.get(epoch.epoch_id, 0) - 1
+            if count > 0:
+                self._pins[epoch.epoch_id] = count
+            else:
+                self._pins.pop(epoch.epoch_id, None)
+            self._evict()
+
+    def pin_count(self, epoch_id: int) -> int:
+        """Open pins on ``epoch_id`` (0 when unpinned or retired)."""
+        with self._lock:
+            return self._pins.get(epoch_id, 0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def note_served(self, epoch_id: int, queries: int, batches: int = 1) -> None:
+        """Record ``queries`` answered against ``epoch_id``."""
+        with self._lock:
+            entry = self._served.setdefault(
+                epoch_id, {"queries": 0, "batches": 0}
+            )
+            entry["queries"] += queries
+            entry["batches"] += batches
+
+    @property
+    def published_epochs(self) -> int:
+        """Total number of epochs published so far."""
+        with self._lock:
+            return self._next_id
+
+    def retained_ids(self) -> List[int]:
+        """Ids of the epochs currently registered (oldest first)."""
+        with self._lock:
+            return list(self._epochs)
+
+    def serving_report(self) -> Dict[int, Dict[str, int]]:
+        """Serving counters of the *retained* epochs (id -> queries/batches).
+
+        Counters retire together with their epoch, so the report stays
+        bounded by ``epoch_retention`` however long the service runs.
+        """
+        with self._lock:
+            return {
+                epoch_id: dict(entry) for epoch_id, entry in self._served.items()
+            }

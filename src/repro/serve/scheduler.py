@@ -1,0 +1,253 @@
+"""The batch scheduler: coalescing admission control for concurrent readers.
+
+The paper's system is built around *batch* path queries — one ``smxm``
+cascade answers many sources at once — but concurrent clients each ask
+for one source at a time.  :class:`BatchScheduler` bridges the two: it
+admits client queries into a **bounded queue** (backpressure instead of
+unbounded memory growth) and a single worker drains the queue in
+windows, coalescing every compatible query (same hop count) into one
+engine-level :class:`~repro.rpq.query.KHopQuery` executed against the
+latest published epoch.  Eight clients asking 2-hop questions cost one
+batched plan execution, not eight — which is where the serving layer's
+throughput multiplier comes from (see
+``benchmarks/bench_concurrent_serving.py``).
+
+Every coalesced batch pins the newest epoch for exactly one execution,
+so scheduled queries always observe a consistent published state while
+the writer keeps publishing behind them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.engine.base import create_engine
+from repro.pim.stats import ExecutionStats
+from repro.pim.system import PIMSystem
+from repro.rpq.query import KHopQuery
+from repro.serve.epoch import EpochView
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.system import Moctopus
+
+
+class SchedulerSaturated(RuntimeError):
+    """Raised when the admission queue is full and the caller won't wait."""
+
+
+class ServingFuture:
+    """Handle for one admitted query; resolves when its batch executes."""
+
+    def __init__(self, source: int, hops: int) -> None:
+        self.source = source
+        self.hops = hops
+        self._done = threading.Event()
+        self._destinations: Optional[Set[int]] = None
+        self._stats: Optional[ExecutionStats] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, destinations: Set[int], stats: ExecutionStats) -> None:
+        if self._done.is_set():
+            return  # first outcome wins (close/submit race)
+        self._destinations = destinations
+        self._stats = stats
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._done.is_set():
+            return
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        """Whether the query has been answered (or failed)."""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Set[int]:
+        """Destination set of the query (blocks until resolved)."""
+        destinations, _ = self.outcome(timeout=timeout)
+        return destinations
+
+    def outcome(
+        self, timeout: Optional[float] = None
+    ) -> Tuple[Set[int], ExecutionStats]:
+        """``(destinations, batch stats)`` — stats are shared across the
+        coalesced batch this query rode in."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("query not answered within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._destinations, self._stats
+
+
+class BatchScheduler:
+    """Coalesces concurrent client k-hop queries into engine batches."""
+
+    def __init__(
+        self,
+        system: "Moctopus",
+        engine: Optional[str] = None,
+        batch_window: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        autostart: bool = True,
+    ) -> None:
+        self._system = system
+        config = system.config
+        if batch_window is None:
+            batch_window = config.serve_batch_window
+        if queue_depth is None:
+            queue_depth = config.serve_queue_depth
+        if batch_window < 1 or queue_depth < 1:
+            raise ValueError("batch_window and queue_depth must be >= 1")
+        self._window = batch_window
+        self._queue: "queue.Queue[Optional[ServingFuture]]" = queue.Queue(
+            maxsize=queue_depth
+        )
+        #: Private engine + accounting platform: the worker never shares
+        #: execution scratch state with live callers or sessions.
+        self._pim = PIMSystem(config.cost_model)
+        self._engine = create_engine(
+            engine or system.engine_name, system._query_processor._runtime
+        )
+        self._closed = threading.Event()
+        self._worker = threading.Thread(
+            target=self._run, name="moctopus-batch-scheduler", daemon=True
+        )
+        #: Scheduler-level counters (thread-safe under the GIL: single
+        #: writer — the worker thread).
+        self.batches_executed = 0
+        self.queries_served = 0
+        if autostart:
+            self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        source: int,
+        hops: int,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> ServingFuture:
+        """Admit one single-source k-hop query.
+
+        With ``block=False`` (or on timeout) a full queue raises
+        :class:`SchedulerSaturated` — the bounded-admission contract.
+        """
+        if self._closed.is_set():
+            raise RuntimeError("scheduler is closed")
+        future = ServingFuture(source, hops)
+        try:
+            self._queue.put(future, block=block, timeout=timeout)
+        except queue.Full:
+            raise SchedulerSaturated(
+                f"admission queue full ({self._queue.maxsize} waiting queries)"
+            ) from None
+        # close() may have raced us between the flag check and the put;
+        # if the worker is already gone, nothing will ever drain this
+        # future — fail it instead of letting result() block forever.
+        if self._closed.is_set() and not self._worker.is_alive():
+            future._fail(RuntimeError("scheduler closed during submit"))
+        return future
+
+    def query(self, source: int, hops: int) -> Set[int]:
+        """Blocking convenience wrapper: submit and wait for the answer."""
+        return self.submit(source, hops).result()
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the worker after draining already-admitted queries."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._queue.put_nowait(None)  # wake the worker early
+        except queue.Full:
+            pass  # the worker's poll loop notices the flag anyway
+        if self._worker.is_alive():
+            self._worker.join(timeout)
+        # Fail anything that slipped into the queue after the worker's
+        # final drain (the submit()/close() race) — no caller may be
+        # left blocking on a future nobody will resolve.  Only when the
+        # worker is really gone: if the join merely timed out mid-batch,
+        # the still-running worker will drain (and answer) the queue
+        # itself, and stealing its items would spuriously fail admitted
+        # queries.
+        if self._worker.is_alive():
+            return
+        while True:
+            try:
+                stranded = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if stranded is not None:
+                stranded._fail(RuntimeError("scheduler closed before execution"))
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                continue
+            if first is None:
+                if self._closed.is_set() and self._queue.empty():
+                    return
+                continue
+            window: List[ServingFuture] = [first]
+            while len(window) < self._window:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    continue
+                window.append(item)
+            self._execute_window(window)
+            if self._closed.is_set() and self._queue.empty():
+                return
+
+    def _execute_window(self, window: List[ServingFuture]) -> None:
+        """Group a drained window by hop count and run one batch each."""
+        by_hops: Dict[int, List[ServingFuture]] = {}
+        for future in window:
+            by_hops.setdefault(future.hops, []).append(future)
+        for hops, group in sorted(by_hops.items()):
+            try:
+                self._execute_group(hops, group)
+            except BaseException as error:  # pragma: no cover - defensive
+                for future in group:
+                    future._fail(error)
+
+    def _execute_group(self, hops: int, group: List[ServingFuture]) -> None:
+        manager = self._system._epochs
+        epoch = manager.pin()
+        try:
+            view = EpochView(epoch, self._pim)
+            query = KHopQuery(
+                hops=hops, sources=[future.source for future in group]
+            )
+            result, stats = self._system._query_processor.execute_on_view(
+                query, view, self._engine
+            )
+            stats.add_counter("epoch", epoch.epoch_id)
+            stats.add_counter("coalesced_queries", len(group))
+            manager.note_served(epoch.epoch_id, len(group))
+            self.batches_executed += 1
+            self.queries_served += len(group)
+            for row, future in enumerate(group):
+                future._resolve(result.destinations_of(row), stats)
+        finally:
+            manager.unpin(epoch)

@@ -11,11 +11,41 @@ import os
 import sys
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 # Allow running the tests from a source checkout without installation.
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles (deflake contract)
+#
+# Every suite must run with ``deadline=None``: the simulated platform's
+# wall-clock per example varies wildly across CI runners, and a flaky
+# per-example deadline is the classic source of unreproducible red
+# builds.  The per-test ``@settings`` decorators already pin their
+# ``max_examples``; these profiles pin the global behaviour so a future
+# test that forgets the decorator cannot reintroduce deadline flakes.
+#
+# * ``dev`` (default): deadline off, failure blobs printed so any local
+#   failure is replayable with ``@reproduce_failure``.
+# * ``ci``: same, plus ``derandomize`` off but seeded externally — the
+#   CI fuzz step passes ``--hypothesis-seed=<run id>`` and reports the
+#   seed in the job summary, so a red fuzz run is reproducible verbatim.
+# ----------------------------------------------------------------------
+settings.register_profile(
+    "dev",
+    deadline=None,
+    print_blob=True,
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.core import MoctopusConfig  # noqa: E402
 from repro.graph import DiGraph, community_graph, power_law_graph, road_network  # noqa: E402

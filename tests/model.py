@@ -1,0 +1,135 @@
+"""A pure-python reference model of the served graph semantics.
+
+:class:`ReferenceModel` is the oracle of the serving layer's
+differential harness (``test_serving_isolation.py``): a plain
+adjacency-dict graph with the exact update semantics of the system's
+storages (inserting an existing edge relabels it, endpoints are
+registered lazily by the first insert that mentions them, deletes never
+register nodes, rows survive the deletion of their last edge) and a
+from-first-principles BFS for the paper's exact-``k``-hop query
+semantics.  It shares no code with the engines or the storages, so any
+agreement between the two is evidence, not tautology.
+
+General RPQs are answered through :func:`repro.rpq.evaluate_rpq`, the
+product-graph BFS that the repo's existing suites already use as the
+engine-independent reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+from repro.rpq import RPQuery, evaluate_rpq
+
+
+class ReferenceModel:
+    """Adjacency-dict oracle with storage-faithful update semantics."""
+
+    def __init__(self) -> None:
+        #: ``src -> dst -> label``; a node's presence (as a key) is what
+        #: "registered with the partitioner" means in the real system.
+        self.rows: Dict[int, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "ReferenceModel":
+        """Mirror a bulk-loaded graph (same edge replay as ``load_graph``)."""
+        model = cls()
+        for src, dst, label in graph.labeled_edges():
+            model.insert(src, dst, label)
+        for node in graph.nodes():
+            model.rows.setdefault(node, {})
+        return model
+
+    def copy(self) -> "ReferenceModel":
+        """Deep copy — what a pinned epoch freezes."""
+        clone = ReferenceModel()
+        clone.rows = {src: dict(row) for src, row in self.rows.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # Updates (storage semantics)
+    # ------------------------------------------------------------------
+    def insert(self, src: int, dst: int, label: int = DEFAULT_LABEL) -> None:
+        """Insert (or relabel) ``src -> dst``; registers both endpoints."""
+        self.rows.setdefault(src, {})[dst] = label
+        self.rows.setdefault(dst, {})
+
+    def delete(self, src: int, dst: int) -> None:
+        """Delete ``src -> dst`` if present; never registers a node."""
+        row = self.rows.get(src)
+        if row is not None:
+            row.pop(dst, None)
+
+    def apply(self, inserts: Iterable[Tuple[int, int]] = (),
+              deletes: Iterable[Tuple[int, int]] = ()) -> None:
+        """Apply insert then delete batches (test convenience)."""
+        for src, dst in inserts:
+            self.insert(src, dst)
+        for src, dst in deletes:
+            self.delete(src, dst)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def khop(self, sources: List[int], hops: int) -> List[Set[int]]:
+        """Exact-``hops`` reachability per source (unknown source = ∅)."""
+        answers: List[Set[int]] = []
+        for source in sources:
+            if source not in self.rows:
+                answers.append(set())
+                continue
+            frontier = {source}
+            for _ in range(hops):
+                next_frontier: Set[int] = set()
+                for node in frontier:
+                    next_frontier.update(self.rows.get(node, {}))
+                frontier = next_frontier
+                if not frontier:
+                    break
+            answers.append(frontier)
+        return answers
+
+    def rpq(
+        self,
+        expression: str,
+        sources: List[int],
+        label_names: Optional[Dict[int, str]] = None,
+    ) -> List[Set[int]]:
+        """General RPQ via the repo's product-graph reference evaluator."""
+        result = evaluate_rpq(
+            self.to_digraph(), RPQuery(expression, list(sources)),
+            label_names=label_names,
+        )
+        return result.destinations
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def to_digraph(self) -> DiGraph:
+        """Export as a :class:`DiGraph` (for the RPQ reference evaluator)."""
+        graph = DiGraph()
+        for src, row in self.rows.items():
+            graph.add_node(src)
+            for dst, label in row.items():
+                graph.add_edge(src, dst, label)
+        return graph
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Every stored edge (for sampling deletions in the harness)."""
+        return [
+            (src, dst) for src, row in self.rows.items() for dst in row
+        ]
+
+    @property
+    def num_nodes(self) -> int:
+        """Registered nodes."""
+        return len(self.rows)
+
+    @property
+    def num_edges(self) -> int:
+        """Stored edges."""
+        return sum(len(row) for row in self.rows.values())

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
+from repro.core import Moctopus, MoctopusConfig
 from repro.core.hetero_storage import BYTES_PER_SLOT, HeterogeneousGraphStorage
 from repro.core.local_storage import BYTES_PER_ENTRY, LocalGraphStorage
 from repro.core.snapshot import (
@@ -12,6 +14,8 @@ from repro.core.snapshot import (
     build_snapshot_reference,
     merge_snapshot,
 )
+from repro.graph import random_graph
+from repro.pim import CostModel
 
 
 def reference_of(storage: LocalGraphStorage):
@@ -341,3 +345,160 @@ def test_hetero_snapshot_invalidation():
     outcome = storage.insert_edge(1, 3)
     assert not outcome.applied
     assert storage.to_csr() is cached
+
+
+# ----------------------------------------------------------------------
+# Published snapshots are immutable (regression: handed-out bases used
+# to be writable, so any in-place caller mutation silently corrupted the
+# cache — and now also every pinned serving epoch sharing the arrays)
+# ----------------------------------------------------------------------
+def test_published_snapshot_arrays_are_read_only():
+    storage = LocalGraphStorage()
+    storage.add_edge(1, 2)
+    storage.add_edge(1, 3)
+    snapshot = storage.to_csr()
+    for array in (
+        snapshot.node_ids,
+        snapshot.indptr,
+        snapshot.dsts,
+        snapshot.labels,
+        snapshot.local_counts,
+        snapshot.degrees,
+    ):
+        assert not array.flags.writeable
+    with pytest.raises(ValueError):
+        snapshot.dsts[0] = 999
+    with pytest.raises(ValueError):
+        snapshot.indptr[0] = 7
+    # Every refresh strategy publishes frozen arrays: splice...
+    storage.add_edge(1, 4)
+    assert not storage.to_csr().dsts.flags.writeable
+    # ...and compaction / full rebuild.
+    compacting = LocalGraphStorage(compact_ratio=0.0)
+    compacting.add_edge(5, 6)
+    compacting.to_csr()
+    compacting.add_edge(7, 8)
+    assert compacting.snapshot_compactions == 0
+    frozen = compacting.to_csr()
+    assert compacting.snapshot_compactions == 1
+    assert not frozen.dsts.flags.writeable
+    hetero = HeterogeneousGraphStorage(num_pim_modules=4)
+    hetero.insert_edge(1, 2)
+    with pytest.raises(ValueError):
+        hetero.to_csr().dsts[0] = 999
+
+
+def test_row_entries_reads_pinned_rows():
+    storage = LocalGraphStorage()
+    storage.add_edge(5, 9, label=2)
+    storage.add_edge(5, 1, label=7)
+    storage.add_edge(3, 5)
+    snapshot = storage.to_csr()
+    assert snapshot.row_entries(5) == [(9, 2), (1, 7)]
+    assert snapshot.row_entries(3) == [(5, 0)]
+    assert snapshot.row_entries(404) == []
+    assert snapshot.row_index(3) == 0 and snapshot.row_index(4) == -1
+
+
+# ----------------------------------------------------------------------
+# Epoch retention stress: a pinned epoch's arrays survive compactions,
+# merges and hub-promotion migrations bit-for-bit
+# ----------------------------------------------------------------------
+def _epoch_array_fingerprint(epoch):
+    """Copies of every array a pinned epoch exposes."""
+    copies = []
+    for snapshot in epoch.snapshots:
+        copies.append(
+            (
+                snapshot.node_ids.copy(),
+                snapshot.indptr.copy(),
+                snapshot.dsts.copy(),
+                snapshot.labels.copy(),
+                snapshot.local_counts.copy(),
+            )
+        )
+    return copies
+
+
+def _assert_epoch_unchanged(epoch, fingerprint, context):
+    for snapshot, copies in zip(epoch.snapshots, fingerprint):
+        node_ids, indptr, dsts, labels, local_counts = copies
+        assert np.array_equal(snapshot.node_ids, node_ids), context
+        assert np.array_equal(snapshot.indptr, indptr), context
+        assert np.array_equal(snapshot.dsts, dsts), context
+        assert np.array_equal(snapshot.labels, labels), context
+        assert np.array_equal(snapshot.local_counts, local_counts), context
+        assert not snapshot.dsts.flags.writeable, context
+
+
+def test_pinned_epoch_survives_compactions_and_promotions():
+    """Hold a session across compaction-triggering churn and hub
+    promotions; the pinned epoch must stay bit-identical throughout."""
+    graph = random_graph(40, 140, seed=9)
+    config = MoctopusConfig(
+        cost_model=CostModel(num_modules=4),
+        engine="vectorized",
+        high_degree_threshold=8,
+        snapshot_compact_ratio=0.1,  # compact aggressively
+    )
+    system = Moctopus.from_graph(graph, config)
+    with system.begin() as session:
+        epoch = session._epoch
+        fingerprint = _epoch_array_fingerprint(epoch)
+        baseline, _ = session.batch_khop(list(range(10)), 2)
+
+        # Broad churn: every round dirties > 10% of most modules' rows,
+        # forcing compactions (from-scratch base rebuilds).
+        for round_id in range(6):
+            edges = [
+                (node, 200 + round_id * 50 + node) for node in range(0, 40, 2)
+            ]
+            system.insert_edges(edges)
+            system.delete_edges(edges[::2])
+            system.batch_khop(list(range(8)), 2)  # live queries + migrations
+        compactions = sum(
+            storage.snapshot_compactions
+            for storage in system._module_storages
+        )
+        assert compactions > 0, "churn must actually force compactions"
+
+        # Hub promotion: push one still-module-resident node over the
+        # high-degree threshold so its whole row migrates to the host.
+        hub = next(
+            node
+            for node in range(1, 40, 2)
+            if system.partition_of(node) not in (None, -1)
+        )
+        system.insert_edges([(hub, 300 + offset) for offset in range(12)])
+        assert system.partition_of(hub) == -1, "hub must promote to host"
+
+        _assert_epoch_unchanged(
+            epoch, fingerprint, "pinned epoch mutated under churn"
+        )
+        replay, _ = session.batch_khop(list(range(10)), 2)
+        assert replay.destinations == baseline.destinations
+        # The manager retired nothing the session still pins.
+        assert system._epochs.pin_count(epoch.epoch_id) == 1
+    # After close, the old epoch may retire; new pins get the live state.
+    with system.begin() as fresh:
+        assert fresh.epoch_id > epoch.epoch_id
+
+
+def test_epoch_retention_bounds_registry():
+    """Unpinned epochs retire past ``epoch_retention``; pinned ones stay."""
+    system = Moctopus.from_graph(
+        random_graph(20, 60, seed=2),
+        MoctopusConfig(cost_model=CostModel(num_modules=4), epoch_retention=2),
+    )
+    pinned = system.begin()
+    pinned_id = pinned.epoch_id
+    for round_id in range(6):
+        system.insert_edges([(round_id, 100 + round_id)])
+        system.current_epoch_id  # force a publish per round
+    retained = system._epochs.retained_ids()
+    assert len(retained) <= 3  # retention bound + the pinned epoch
+    assert pinned_id in retained, "pinned epochs are never evicted"
+    pinned.close()
+    system.insert_edges([(0, 999)])
+    system.current_epoch_id
+    assert pinned_id not in system._epochs.retained_ids()
