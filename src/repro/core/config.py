@@ -20,7 +20,11 @@ ablations can sweep them:
 * the serving-layer knobs (``epoch_retention``, ``serve_queue_depth``,
   ``serve_batch_window``) controlling how many published epochs stay
   registered for lagging readers and how the batch scheduler admits and
-  coalesces concurrent client queries.
+  coalesces concurrent client queries;
+* the durability knobs (``durability_dir``, ``wal_segment_bytes``,
+  ``checkpoint_interval_batches``, ``wal_fsync``) controlling the
+  write-ahead log and checkpoint lifecycle of
+  :mod:`repro.durability`.
 """
 
 from __future__ import annotations
@@ -95,6 +99,24 @@ class MoctopusConfig:
     #: Upper bound on how many queued client queries one scheduler pass
     #: coalesces into a single engine-level batch.
     serve_batch_window: int = 16
+    #: Root directory of the durability subsystem (write-ahead log +
+    #: checkpoints).  ``None`` (the default) keeps the system memory-only;
+    #: set a path to make every bulk load, update batch and migration
+    #: pass crash-recoverable via :meth:`repro.core.system.Moctopus.recover`.
+    durability_dir: Optional[str] = None
+    #: Size bound of one WAL segment file; the log rotates to a fresh
+    #: segment rather than let a record push past it (records never span
+    #: segments, so every segment is independently CRC-scannable).
+    wal_segment_bytes: int = 1 << 20
+    #: Applied update batches between automatic checkpoints, written by
+    #: a background thread under the writer lock.  ``0`` disables the
+    #: daemon — checkpoints then only happen via ``Moctopus.checkpoint()``.
+    checkpoint_interval_batches: int = 64
+    #: Whether every WAL append is ``fsync``\\ ed.  Off by default: the
+    #: flush-per-record log survives process crashes (what the
+    #: fault-injection harness models); turn this on for power-loss
+    #: durability at the usual per-batch latency cost.
+    wal_fsync: bool = False
 
     def __post_init__(self) -> None:
         if self.pim_placement not in ("radical_greedy", "hash"):
@@ -122,6 +144,10 @@ class MoctopusConfig:
             raise ValueError("serve_queue_depth must be >= 1")
         if self.serve_batch_window < 1:
             raise ValueError("serve_batch_window must be >= 1")
+        if self.wal_segment_bytes < 1024:
+            raise ValueError("wal_segment_bytes must be >= 1024")
+        if self.checkpoint_interval_batches < 0:
+            raise ValueError("checkpoint_interval_batches must be >= 0")
 
     @property
     def num_modules(self) -> int:

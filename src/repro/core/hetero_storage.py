@@ -326,6 +326,70 @@ class HeterogeneousGraphStorage:
             self._cache.overlay.record_move_out(node)
         return entries
 
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, List]:
+        """Positional state a CSR snapshot cannot express.
+
+        The split protocol's future behaviour (and simulated cost)
+        depends on exactly where each edge sits in its ``cols_vector``,
+        how large every vector's capacity is (the host's working-set
+        bytes) and the *order* of each free list (slots are allocated
+        LIFO).  A checkpoint therefore records, per row sorted by id:
+        capacity, the occupied ``(position, dst, label)`` slots in
+        position order, and the free list verbatim.
+        """
+        row_ids = sorted(self._vectors)
+        capacities: List[int] = []
+        occupied: List[List[Tuple[int, int, int]]] = []
+        free_lists: List[List[int]] = []
+        for node in row_ids:
+            vector = self._vectors[node]
+            capacities.append(vector.capacity)
+            occupied.append(
+                [
+                    (position, slot[0], slot[1])
+                    for position, slot in enumerate(vector.slots)
+                    if slot is not None
+                ]
+            )
+            free_lists.append(list(self._free_list_map.get(node, [])))
+        return {
+            "row_ids": row_ids,
+            "capacities": capacities,
+            "occupied": occupied,
+            "free_lists": free_lists,
+        }
+
+    def restore_state(
+        self, state: Dict[str, List], base: Optional[GraphSnapshot] = None
+    ) -> None:
+        """Rebuild vectors, index maps and free lists from a capture.
+
+        ``base`` optionally seeds the snapshot cache with the
+        checkpoint's CSR arrays.  The storage must be empty (freshly
+        constructed).
+        """
+        if self._vectors:
+            raise RuntimeError("restore_state requires an empty storage")
+        for node, capacity, occupied, free_list in zip(
+            state["row_ids"],
+            state["capacities"],
+            state["occupied"],
+            state["free_lists"],
+        ):
+            vector = ColsVector(capacity=capacity)
+            for position, dst, label in occupied:
+                vector.slots[position] = (dst, label)
+                self._elem_position_map[(node, dst)] = position
+            vector.size = len(occupied)
+            self._vectors[node] = vector
+            self._free_list_map[node] = list(free_list)
+            self._num_edges += len(occupied)
+        if base is not None:
+            self._cache.seed_base(base)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"HeterogeneousGraphStorage(rows={self.num_rows}, "

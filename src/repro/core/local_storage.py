@@ -160,6 +160,32 @@ class LocalGraphStorage:
             self._cache.overlay.record_move_in(node)
 
     # ------------------------------------------------------------------
+    # Checkpoint restore
+    # ------------------------------------------------------------------
+    def restore_rows(
+        self,
+        rows: Dict[int, List[Tuple[int, int]]],
+        base: Optional[GraphSnapshot] = None,
+    ) -> None:
+        """Replace this segment's contents wholesale (recovery path).
+
+        ``rows`` is the full ``node -> [(dst, label), ...]`` mapping the
+        checkpoint recorded; ``base`` optionally seeds the snapshot
+        cache with the checkpoint's CSR arrays so the first
+        post-recovery ``to_csr()`` is a cache hit.  Memory accounting is
+        re-charged from scratch — the storage must be empty (freshly
+        constructed) when this is called.
+        """
+        if self._rows:
+            raise RuntimeError("restore_rows requires an empty storage")
+        self._rows = {node: list(entries) for node, entries in rows.items()}
+        self._num_edges = sum(len(entries) for entries in self._rows.values())
+        if self._memory is not None:
+            self._memory.allocate(self.storage_bytes)
+        if base is not None:
+            self._cache.seed_base(base)
+
+    # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
     def to_csr(self) -> GraphSnapshot:

@@ -54,6 +54,10 @@ class NodeMigrator:
         self.migrations_performed = 0
         #: Lifetime number of promotions to the host performed.
         self.promotions_performed = 0
+        #: ``(node, from_module, to_module)`` moves of the most recent
+        #: :meth:`apply_migrations` pass — the partition-map change
+        #: journal the durability layer appends to the WAL.
+        self.last_moves: List[Tuple[int, int, int]] = []
 
     # ------------------------------------------------------------------
     # Reporting (called by the query processor with module reports)
@@ -117,6 +121,7 @@ class NodeMigrator:
         int
             Number of nodes actually migrated.
         """
+        self.last_moves = []
         if not self._pending:
             return 0
         migrated = 0
@@ -141,6 +146,7 @@ class NodeMigrator:
             self._partitioner.migrate(node, target)
             migrated += 1
             self.migrations_performed += 1
+            self.last_moves.append((node, current, target))
             if op is not None:
                 row_bytes = max(1, len(entries)) * BYTES_PER_ENTRY
                 op.ipc_transfer(row_bytes, src_module=current, dst_module=target)
@@ -150,6 +156,44 @@ class NodeMigrator:
                 op.host.process_items(1)
         self._pending.clear()
         return migrated
+
+    def replay_move(self, node: int, source: int, target: int) -> None:
+        """Redo one journaled migration during recovery.
+
+        The decision was already made (and logged) by the original run;
+        replay just moves the row and the partition-map entry, with no
+        simulated accounting — the original pass charged it, and
+        lifetime platform counters are restored from the checkpoint.
+        """
+        if source == HOST_PARTITION or target == HOST_PARTITION:
+            raise ValueError("migration journal entries move between PIM modules")
+        entries = self._module_storages[source].remove_row(node)
+        self._module_storages[target].insert_row(node, entries)
+        self._partitioner.migrate(node, target)
+        self.migrations_performed += 1
+
+    def clear_pending(self) -> None:
+        """Drop all pending reports.
+
+        Recovery calls this after replaying a ``MIGRATIONS`` journal
+        record: the original :meth:`apply_migrations` pass consumed
+        *every* report (including ones it skipped for headroom or tie
+        votes), so reports restored from an older checkpoint must not
+        outlive the replayed pass — they would migrate nodes the
+        uncrashed run never touched.
+        """
+        self._pending.clear()
+
+    def capture_pending(self) -> List[Tuple[int, int, int]]:
+        """Misplacement reports not yet migrated (checkpointed as-is)."""
+        return sorted(
+            (node, local, remote)
+            for node, (local, remote) in self._pending.items()
+        )
+
+    def restore_pending(self, reports: List[Tuple[int, int, int]]) -> None:
+        """Re-seed the pending misplacement reports from a checkpoint."""
+        self._pending = {node: (local, remote) for node, local, remote in reports}
 
     # ------------------------------------------------------------------
     # Labor-division promotion

@@ -18,7 +18,7 @@ their first neighbor's entry.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import MoctopusConfig
 from repro.partition.base import HOST_PARTITION, PartitionMap, StreamingPartitioner
@@ -90,6 +90,42 @@ class GraphPartitioner:
         track no degrees.
         """
         self._policy.observe_edges(src_counts, dsts)
+
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Everything future placement decisions depend on.
+
+        The ``node_partition_vector`` (sorted assignment pairs), the
+        labor-division wrapper's observed out-degrees (they decide
+        future promotions) and the placement counters (diagnostics the
+        recovered system must keep reporting consistently).
+        """
+        assignments = sorted(self.partition_map.items())
+        degrees: List[Tuple[int, int]] = []
+        if isinstance(self._policy, LaborDivisionPartitioner):
+            degrees = sorted(self._policy._out_degree.items())
+        return {
+            "assignments": assignments,
+            "out_degrees": degrees,
+            "greedy_placements": self.greedy_placements(),
+            "fallback_placements": self.fallback_placements(),
+            "promotions": self.promotions(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild policy state from a capture (freshly constructed only)."""
+        if len(self.partition_map):
+            raise RuntimeError("restore_state requires an empty partitioner")
+        for node, partition in state["assignments"]:
+            self.partition_map.assign(node, partition)
+        if isinstance(self._policy, LaborDivisionPartitioner):
+            self._policy._out_degree = dict(state["out_degrees"])
+            self._policy.promotions = int(state["promotions"])
+        if isinstance(self._pim_policy, RadicalGreedyPartitioner):
+            self._pim_policy.greedy_placements = int(state["greedy_placements"])
+            self._pim_policy.fallback_placements = int(state["fallback_placements"])
 
     # ------------------------------------------------------------------
     # Introspection

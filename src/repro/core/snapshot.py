@@ -406,6 +406,20 @@ class SnapshotCache:
         """Whether mutations need recording (a base exists to merge into)."""
         return self.base is not None
 
+    def seed_base(self, snapshot: GraphSnapshot) -> None:
+        """Install an externally built base (checkpoint restore).
+
+        Recovery hands the storage the CSR arrays deserialized from a
+        checkpoint so the first post-recovery ``to_csr()`` is a cache
+        hit on bit-identical arrays instead of a from-scratch rebuild.
+        The seeded arrays are frozen (they may be shared with the
+        checkpoint loader) — every later refresh strategy, splice and
+        compaction alike, must tolerate a read-only base, which the
+        regression suite asserts explicitly.
+        """
+        self.base = snapshot.freeze()
+        self.overlay.clear()
+
     def refresh(
         self,
         rows: Callable[[], List[Tuple[int, RowEntries]]],

@@ -39,7 +39,7 @@ from repro.core.partitioner import GraphPartitioner
 from repro.core.query_processor import QueryProcessor
 from repro.core.update_processor import UpdateProcessor
 from repro.graph.digraph import DEFAULT_LABEL, DiGraph
-from repro.graph.stream import UpdateOp
+from repro.graph.stream import UpdateKind, UpdateOp
 from repro.partition.base import HOST_PARTITION
 from repro.partition.metrics import PartitionQuality, evaluate_partition
 from repro.partition.owner_index import OwnerIndex
@@ -48,6 +48,7 @@ from repro.pim.system import PIMSystem
 from repro.rpq.query import BatchResult, KHopQuery, RPQuery
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.durability import DurabilityController
     from repro.serve.scheduler import BatchScheduler
     from repro.serve.session import Session
 
@@ -132,6 +133,10 @@ class Moctopus:
             retention=self.config.epoch_retention,
             lock=self._serve_lock,
         )
+        #: Write-ahead log + checkpoint lifecycle (``None`` = memory-only).
+        self._durability: Optional["DurabilityController"] = None
+        if self.config.durability_dir:
+            self._attach_durability(self.config)
 
     # ------------------------------------------------------------------
     # Construction / loading
@@ -153,12 +158,31 @@ class Moctopus:
 
         Edges are replayed in their insertion order so the radical greedy
         partitioner sees the same stream a growing database would have
-        produced.
+        produced.  With durability enabled, the exact replay streams
+        (edge order *and* node order — both feed placement decisions)
+        are written ahead as one ``BOOTSTRAP`` record.
         """
         with self._serve_lock:
-            for src, dst, label in graph.labeled_edges():
+            if self._durability is not None:
+                edges = list(graph.labeled_edges())
+                nodes = list(graph.nodes())
+                self._durability.log_bootstrap(edges, nodes)
+                self._replay_bootstrap(edges, nodes)
+            else:
+                # Memory-only loads stream the generators directly — no
+                # point materializing a second copy of every edge.
+                self._replay_bootstrap(graph.labeled_edges(), graph.nodes())
+
+    def _replay_bootstrap(
+        self,
+        edges: Iterable[Tuple[int, int, int]],
+        nodes: Iterable[int],
+    ) -> None:
+        """Ingest a bulk load's edge/node streams (live load and recovery)."""
+        with self._serve_lock:
+            for src, dst, label in edges:
                 self._ingest_edge(src, dst, label)
-            for node in graph.nodes():
+            for node in nodes:
                 if self._partitioner.partition_of(node) is None:
                     self._partitioner.assign_node(node)
                     self._mirror.add_node(node)
@@ -251,6 +275,7 @@ class Moctopus:
         path, as in the paper).
         """
         with self._serve_lock:
+            had_reports = self._migrator.pending_reports > 0
             operation = self.pim.begin_operation()
             with operation.phase("migration"):
                 moved = self._migrator.apply_migrations(
@@ -261,6 +286,17 @@ class Moctopus:
             self.last_maintenance_stats = stats
             if moved:
                 self._epochs.mark_stale()
+            if self._durability is not None and (moved or had_reports):
+                # Migration decisions consume volatile misplacement
+                # reports, so they are journaled as *outcomes* (redo)
+                # rather than re-derived at recovery.  A pass that
+                # consumed reports without moving anything is journaled
+                # too (an empty record): replaying it clears reports an
+                # older checkpoint may have captured, which this pass
+                # already consumed.  A failure here latches the
+                # controller as failed: state has already moved past the
+                # durable history (see log_migrations).
+                self._durability.log_migrations(self._migrator.last_moves)
         return moved, stats
 
     # ------------------------------------------------------------------
@@ -270,26 +306,115 @@ class Moctopus:
         self, edges: List[Tuple[int, int]], labels: Optional[List[int]] = None
     ) -> ExecutionStats:
         """Insert a batch of edges and return the simulated cost."""
-        with self._serve_lock:
-            stats = self._update_processor.insert_edges(edges, labels=labels)
-            self._epochs.mark_stale()
-        return stats
+        ops = [UpdateOp(UpdateKind.INSERT, src, dst) for src, dst in edges]
+        return self.apply_updates(ops, labels=labels)
 
     def delete_edges(self, edges: List[Tuple[int, int]]) -> ExecutionStats:
         """Delete a batch of edges and return the simulated cost."""
-        with self._serve_lock:
-            stats = self._update_processor.delete_edges(edges)
-            self._epochs.mark_stale()
-        return stats
+        ops = [UpdateOp(UpdateKind.DELETE, src, dst) for src, dst in edges]
+        return self.apply_updates(ops)
 
     def apply_updates(
         self, ops: List[UpdateOp], labels: Optional[List[int]] = None
     ) -> ExecutionStats:
-        """Apply a mixed stream of :class:`~repro.graph.stream.UpdateOp`."""
+        """Apply a mixed stream of :class:`~repro.graph.stream.UpdateOp`.
+
+        Every update funnels through here (``insert_edges`` and
+        ``delete_edges`` are conveniences over it), which is the single
+        write-ahead point: with durability enabled the batch is appended
+        to the WAL *before* any state mutates, so a batch is committed
+        exactly when its record is durable.
+        """
         with self._serve_lock:
-            stats = self._update_processor.apply_batch(ops, labels=labels)
+            if self._durability is None:
+                stats = self._update_processor.apply_batch(ops, labels=labels)
+                self._epochs.mark_stale()
+                return stats
+            lsn = self._durability.log_batch(ops, labels)
+            try:
+                stats = self._update_processor.apply_batch(ops, labels=labels)
+            except BaseException as error:
+                # The batch is durable but its apply failed (e.g. a
+                # module's local memory filled).  Compensate with an
+                # ABORT record so replay skips it — otherwise every
+                # future recovery would re-raise the same error and the
+                # directory could never be recovered again.  The apply
+                # may have partially mutated in-memory state, so this
+                # also latches durability off: the durable history ends
+                # at the abort, and the right way forward is recover().
+                self._durability.log_abort(lsn, error)
+                raise
             self._epochs.mark_stale()
+            self._durability.note_batch_applied()
         return stats
+
+    # ------------------------------------------------------------------
+    # Durability (write-ahead log, checkpoints, recovery)
+    # ------------------------------------------------------------------
+    def _attach_durability(
+        self, config: MoctopusConfig, resume_lsn: Optional[int] = None
+    ) -> None:
+        """Wire up (or re-wire after recovery) the durability controller.
+
+        ``resume_lsn`` asserts that the on-disk log ends exactly where
+        replay stopped — recovery passes the last applied LSN so a
+        mismatch (someone appended behind our back) fails loudly.
+        """
+        from repro.durability import DurabilityController
+
+        self.config = config
+        self._durability = DurabilityController(
+            self, config, resume_lsn=resume_lsn
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        durability_dir: str,
+        config: Optional[MoctopusConfig] = None,
+        engine: Optional[str] = None,
+    ) -> "Moctopus":
+        """Rebuild the system persisted under ``durability_dir``.
+
+        Loads the newest valid checkpoint, replays the WAL tail
+        (truncating a torn final record), and returns a live system
+        that resumes logging to the same directory.  The recovered
+        state is bit-identical to the crashed process's durable prefix:
+        same CSR snapshot arrays, same owner table, same accounting —
+        the fault-injection suite asserts this at every crash point.
+        """
+        from repro.durability.recovery import recover
+
+        return recover(durability_dir, config=config, engine=engine)
+
+    def checkpoint(self) -> str:
+        """Write a checkpoint now (synchronously); returns its path.
+
+        The capture runs under the writer lock at an
+        :meth:`~repro.serve.epoch.EpochManager.publish` barrier, so the
+        serialized arrays are exactly a published epoch.
+        """
+        if self._durability is None:
+            raise RuntimeError("durability is not enabled on this system")
+        return self._durability.checkpoint_now()
+
+    def close(self) -> None:
+        """Flush and detach durability (stop the daemon, close the WAL).
+
+        Safe to call on memory-only systems (a no-op) and more than
+        once.  The system remains usable for in-memory work afterwards,
+        but further updates are no longer logged.
+        """
+        if self._durability is not None:
+            self._durability.close()
+            self._durability = None
+
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the last durably appended WAL record (0 = none)."""
+        if self._durability is None:
+            return 0
+        return self._durability.wal.last_lsn
 
     # ------------------------------------------------------------------
     # Serving (snapshot-isolated sessions and coalesced scheduling)

@@ -39,6 +39,18 @@ Both produce bit-identical operator queues per source, identical final
 system state, and identical simulated statistics: all phase accounting
 is integer counters folded into time once per phase, so one bulk charge
 equals N unit charges exactly.
+
+**Replay determinism contract.**  The durability layer
+(:mod:`repro.durability`) recovers from crashes by re-running
+:meth:`UpdateProcessor.apply_batch` on WAL-logged batches, so this
+method must stay a pure function of (batch, labels, observable system
+state): no wall clock, no randomness, no iteration over
+non-deterministically ordered containers that feeds back into state or
+accounting.  Everything it consults — the partition vector, observed
+out-degrees, storage contents, the mirror's node count — is restored
+bit-exactly by checkpoints, and the fault-injection suite
+(``tests/test_durability.py``) breaks if a change here violates the
+contract.
 """
 
 from __future__ import annotations
@@ -193,6 +205,11 @@ class UpdateProcessor:
         self._mirror = mirror_graph
         self._engine_name = config.engine
         self._owner_index = OwnerIndex()
+        #: Lifetime number of update batches applied.  Checkpointed and
+        #: restored (then advanced by WAL tail replay) so the counter
+        #: reads the same on a recovered system as on one that never
+        #: crashed.
+        self.batches_applied = 0
 
     # ------------------------------------------------------------------
     # Backend selection (mirrors the query processor's knob)
@@ -209,23 +226,6 @@ class UpdateProcessor:
                 f"unknown execution engine {name!r}; expected one of {ENGINE_NAMES}"
             )
         self._engine_name = name
-
-    # ------------------------------------------------------------------
-    # Public entry points
-    # ------------------------------------------------------------------
-    def insert_edges(
-        self, edges: List[Tuple[int, int]], labels: Optional[List[int]] = None
-    ) -> ExecutionStats:
-        """Insert a batch of edges; returns the simulated cost."""
-        ops = [
-            UpdateOp(UpdateKind.INSERT, src, dst) for src, dst in edges
-        ]
-        return self.apply_batch(ops, labels=labels)
-
-    def delete_edges(self, edges: List[Tuple[int, int]]) -> ExecutionStats:
-        """Delete a batch of edges; returns the simulated cost."""
-        ops = [UpdateOp(UpdateKind.DELETE, src, dst) for src, dst in edges]
-        return self.apply_batch(ops)
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -267,6 +267,7 @@ class UpdateProcessor:
 
         stats = operation.finish()
         stats.add_counter("updates", len(ops))
+        self.batches_applied += 1
         return stats
 
     # ------------------------------------------------------------------

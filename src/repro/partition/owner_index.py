@@ -15,11 +15,13 @@ search.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.partition.base import PartitionMap
+
+_NO_ENTRIES = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
 
 
 class OwnerIndex:
@@ -129,6 +131,23 @@ class OwnerIndex:
             copy._parts = self._parts.copy()
             copy._parts.flags.writeable = False
         return copy
+
+    def table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Canonical ``(nodes, partitions)`` view of every known entry.
+
+        Nodes are sorted ascending, so two indexes hold the same owner
+        table exactly when their ``table()`` arrays are equal — the
+        normal form the durability suite compares recovered systems
+        with (the acceptance criterion's "same OwnerIndex"), independent
+        of whether each side happens to be dense or sparse.
+        """
+        dense = self._dense
+        if dense is not None:
+            nodes = np.flatnonzero(dense != self.UNKNOWN).astype(np.int64)
+            return nodes, dense[nodes]
+        if self._nodes is None:
+            return _NO_ENTRIES
+        return self._nodes, self._parts
 
     def owners_of(self, nodes: np.ndarray) -> np.ndarray:
         """Owner partition per node (:data:`UNKNOWN` when unplaced)."""

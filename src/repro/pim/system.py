@@ -149,6 +149,62 @@ class PIMSystem:
         self.host.reset_phase()
         self.interconnect.reset_phase()
 
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore (lifetime accounting)
+    # ------------------------------------------------------------------
+    def capture_lifetime(self) -> dict:
+        """Lifetime counters of every component, as plain JSON-able data.
+
+        Per-operation :class:`ExecutionStats` never depend on these —
+        they exist so a recovered system keeps reporting the same
+        load-balance and traffic diagnostics it would have shown had it
+        never crashed (WAL replay re-charges only the tail's work).
+        """
+        return {
+            "modules": [
+                [
+                    module.lifetime.bytes_streamed,
+                    module.lifetime.random_accesses,
+                    module.lifetime.items_processed,
+                    module.lifetime.kernels_launched,
+                ]
+                for module in self.modules
+            ],
+            "host": [
+                self.host.lifetime_sequential_bytes,
+                self.host.lifetime_random_accesses,
+                self.host.lifetime_items_processed,
+            ],
+            "cpc": [
+                self.interconnect.lifetime_cpc.bytes_moved,
+                self.interconnect.lifetime_cpc.transfers,
+            ],
+            "ipc": [
+                self.interconnect.lifetime_ipc.bytes_moved,
+                self.interconnect.lifetime_ipc.transfers,
+            ],
+        }
+
+    def restore_lifetime(self, state: dict) -> None:
+        """Re-seed the lifetime counters from a checkpoint capture."""
+        for module, values in zip(self.modules, state["modules"]):
+            (
+                module.lifetime.bytes_streamed,
+                module.lifetime.random_accesses,
+                module.lifetime.items_processed,
+                module.lifetime.kernels_launched,
+            ) = (int(value) for value in values)
+        (
+            self.host.lifetime_sequential_bytes,
+            self.host.lifetime_random_accesses,
+            self.host.lifetime_items_processed,
+        ) = (int(value) for value in state["host"])
+        cpc, ipc = state["cpc"], state["ipc"]
+        self.interconnect.lifetime_cpc.bytes_moved = int(cpc[0])
+        self.interconnect.lifetime_cpc.transfers = int(cpc[1])
+        self.interconnect.lifetime_ipc.bytes_moved = int(ipc[0])
+        self.interconnect.lifetime_ipc.transfers = int(ipc[1])
+
     def memory_utilization(self) -> List[float]:
         """Per-module local-memory utilisation (0.0 - 1.0)."""
         return [module.memory.utilization for module in self.modules]

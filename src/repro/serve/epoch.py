@@ -194,6 +194,26 @@ class EpochManager:
         with self._lock:
             self._stale = True
 
+    def publish(self) -> Epoch:
+        """Force-publish (and return) an epoch of the current live state.
+
+        This is the durability layer's **checkpoint barrier**: a
+        checkpoint serializes exactly the frozen arrays of a published
+        epoch, so every checkpoint is a consistent point-in-time capture
+        — it can never observe a half-applied update batch, because both
+        publishing and the writer path run under the system's writer
+        lock.  Equivalent to :meth:`current` (which also publishes when
+        stale); the explicit name marks the barrier call sites.
+        """
+        return self.current()
+
+    def restore_published_count(self, count: int) -> None:
+        """Resume epoch numbering after recovery (ids stay monotonic)."""
+        with self._lock:
+            if self._epochs:
+                raise RuntimeError("cannot renumber after epochs were published")
+            self._next_id = count
+
     def current(self) -> Epoch:
         """The latest epoch, capturing and publishing a fresh one if stale."""
         with self._lock:

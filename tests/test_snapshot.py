@@ -388,6 +388,98 @@ def test_published_snapshot_arrays_are_read_only():
         hetero.to_csr().dsts[0] = 999
 
 
+def test_refresh_tolerates_frozen_base_arrays():
+    """Splice and compaction both run on ``writeable=False`` bases.
+
+    Published bases are frozen and shared by reference (epochs, the
+    checkpoint loader seeds them via ``SnapshotCache.seed_base``), so
+    neither :func:`merge_snapshot` nor a compaction may ever write into
+    a base array — they must copy before splicing.  The regression
+    covers both storages and asserts the refreshed arrays equal a
+    from-scratch rebuild and are themselves fresh (not aliases of the
+    frozen inputs).
+    """
+    storage = LocalGraphStorage(compact_ratio=0.25)
+    for node in range(12):
+        storage.add_edge(node, node + 1)
+        storage.add_edge(node, node + 2)
+    base = storage.to_csr()
+    assert not base.dsts.flags.writeable
+    # Small overlay -> splice against the frozen base.
+    storage.add_edge(0, 99)
+    storage.remove_edge(1, 2)
+    spliced = storage.to_csr()
+    assert spliced.same_arrays(reference_of(storage))
+    assert spliced.dsts.base is not base.dsts
+    # Large overlay -> compaction, still with a frozen previous base.
+    for node in range(12):
+        storage.add_edge(node, node + 50)
+    before = storage.snapshot_compactions
+    compacted = storage.to_csr()
+    assert storage.snapshot_compactions == before + 1
+    assert compacted.same_arrays(reference_of(storage))
+
+    hetero = HeterogeneousGraphStorage(num_pim_modules=4, compact_ratio=0.25)
+    for node in range(8):
+        hetero.insert_edge(node, node + 1)
+    hetero.to_csr()
+    hetero.delete_edge(0, 1)
+    hetero.insert_edge(0, 7)
+    merged = hetero.to_csr()
+    rebuilt = build_snapshot(
+        hetero._all_rows(),
+        bytes_per_entry=BYTES_PER_SLOT,
+        working_set_bytes=max(hetero.total_bytes(), 1),
+        count_local=False,
+    )
+    assert merged.same_arrays(rebuilt)
+
+
+def test_seed_base_restores_cache_and_allows_mutation():
+    """A storage seeded from checkpoint arrays behaves like the original.
+
+    The first refresh is a cache hit on the seeded (frozen) arrays, and
+    later mutations splice/compact against that read-only base without
+    raising or diverging from a rebuild.
+    """
+    original = LocalGraphStorage()
+    for node in range(6):
+        original.add_edge(node, (node + 1) % 6, label=node % 3)
+    frozen = original.to_csr()
+
+    restored = LocalGraphStorage()
+    restored.restore_rows(
+        {node: original.next_hops_with_labels(node) for node in original.rows()},
+        base=frozen,
+    )
+    # Cache hit: the exact seeded object comes back.
+    assert restored.to_csr() is frozen
+    assert restored.num_edges == original.num_edges
+    assert restored.storage_bytes == original.storage_bytes
+    # Mutating after the seed splices against the read-only base.
+    restored.add_edge(2, 99)
+    restored.remove_edge(0, 1)
+    refreshed = restored.to_csr()
+    assert refreshed.same_arrays(reference_of(restored))
+    # And a forced compaction over the seeded lineage also works.
+    for node in range(6):
+        restored.add_edge(node, node + 40)
+    assert restored.to_csr().same_arrays(reference_of(restored))
+
+
+def test_restore_rows_requires_empty_storage():
+    storage = LocalGraphStorage()
+    storage.add_edge(1, 2)
+    with pytest.raises(RuntimeError):
+        storage.restore_rows({3: [(4, 0)]})
+    hetero = HeterogeneousGraphStorage(num_pim_modules=2)
+    hetero.insert_edge(1, 2)
+    with pytest.raises(RuntimeError):
+        hetero.restore_state(
+            {"row_ids": [], "capacities": [], "occupied": [], "free_lists": []}
+        )
+
+
 def test_row_entries_reads_pinned_rows():
     storage = LocalGraphStorage()
     storage.add_edge(5, 9, label=2)
