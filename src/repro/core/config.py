@@ -18,9 +18,12 @@ ablations can sweep them:
   ``snapshot_incremental``) controlling how the storages refresh their
   cached CSR views between updates and queries;
 * the serving-layer knobs (``epoch_retention``, ``serve_queue_depth``,
-  ``serve_batch_window``) controlling how many published epochs stay
-  registered for lagging readers and how the batch scheduler admits and
-  coalesces concurrent client queries;
+  ``serve_batch_window``, ``serve_workers``,
+  ``serve_worker_start_method``) controlling how many published epochs
+  stay registered for lagging readers, how the batch scheduler admits
+  and coalesces concurrent client queries, and whether coalesced
+  batches fan out across worker *processes* over shared-memory epoch
+  exports (:mod:`repro.parallel`);
 * the durability knobs (``durability_dir``, ``wal_segment_bytes``,
   ``checkpoint_interval_batches``, ``wal_fsync``) controlling the
   write-ahead log and checkpoint lifecycle of
@@ -99,6 +102,16 @@ class MoctopusConfig:
     #: Upper bound on how many queued client queries one scheduler pass
     #: coalesces into a single engine-level batch.
     serve_batch_window: int = 16
+    #: Default worker-process count behind ``Moctopus.serve()``: the
+    #: :class:`~repro.serve.scheduler.BatchScheduler` scatters each
+    #: window's coalesced batches across this many child processes,
+    #: zero-copy readers of shared-memory epoch exports
+    #: (:mod:`repro.parallel`).  ``0`` (the default) executes windows
+    #: in-process; ``serve(parallel=N)`` overrides per scheduler.
+    serve_workers: int = 0
+    #: ``multiprocessing`` start method for pool workers: ``None``
+    #: auto-selects (``fork`` where available, else ``spawn``).
+    serve_worker_start_method: Optional[str] = None
     #: Root directory of the durability subsystem (write-ahead log +
     #: checkpoints).  ``None`` (the default) keeps the system memory-only;
     #: set a path to make every bulk load, update batch and migration
@@ -144,6 +157,18 @@ class MoctopusConfig:
             raise ValueError("serve_queue_depth must be >= 1")
         if self.serve_batch_window < 1:
             raise ValueError("serve_batch_window must be >= 1")
+        if self.serve_workers < 0:
+            raise ValueError("serve_workers must be >= 0")
+        if self.serve_worker_start_method not in (
+            None,
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise ValueError(
+                "serve_worker_start_method must be None, 'fork', 'spawn' "
+                f"or 'forkserver', got {self.serve_worker_start_method!r}"
+            )
         if self.wal_segment_bytes < 1024:
             raise ValueError("wal_segment_bytes must be >= 1024")
         if self.checkpoint_interval_batches < 0:

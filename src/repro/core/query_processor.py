@@ -31,7 +31,7 @@ from repro.core.node_migrator import NodeMigrator
 from repro.core.operator_processor import OperatorProcessor
 from repro.core.partitioner import GraphPartitioner
 from repro.engine.base import EngineRuntime, ExecutionEngine, Frontier, create_engine
-from repro.engine.physical import lower_plan
+from repro.engine.physical import PhysicalPlan, lower_plan
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import PIMSystem
 from repro.rpq.planner import LogicalPlan, plan_query
@@ -103,16 +103,7 @@ class QueryProcessor:
         share the live engine's scratch state with concurrent live
         queries.
         """
-        if isinstance(query, (KHopQuery, RPQuery)):
-            plan = plan_query(query)
-        else:
-            raise TypeError(f"unsupported query type {type(query).__name__}")
-        physical = lower_plan(
-            plan,
-            default_fixpoint_iterations=self._max_fixpoint_iterations(
-                plan, view=view
-            ),
-        )
+        physical = self.lower(query, view=view)
         if engine is None:
             engine = create_engine(self.engine.name, self._runtime)
         return engine.execute(physical, query.sources, view=view)
@@ -120,6 +111,28 @@ class QueryProcessor:
     # ------------------------------------------------------------------
     # Lowering and delegation
     # ------------------------------------------------------------------
+    def lower(self, query, view=None) -> "PhysicalPlan":
+        """Plan and lower ``query`` without executing it.
+
+        ``view`` is anything with a ``total_rows()`` (a pinned
+        :class:`~repro.serve.epoch.EpochView`, or a bare
+        :class:`~repro.serve.epoch.Epoch`): fixpoint bounds then derive
+        from the frozen row counts instead of the live storages.  The
+        parallel worker pool lowers here once and ships the resulting
+        picklable plan to its worker processes, so every process
+        executes exactly the plan an in-process pinned execution would.
+        """
+        if isinstance(query, (KHopQuery, RPQuery)):
+            plan = plan_query(query)
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+        return lower_plan(
+            plan,
+            default_fixpoint_iterations=self._max_fixpoint_iterations(
+                plan, view=view
+            ),
+        )
+
     def _run(
         self, plan: LogicalPlan, sources: List[int]
     ) -> Tuple[BatchResult, ExecutionStats]:

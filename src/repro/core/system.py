@@ -433,17 +433,28 @@ class Moctopus:
 
         return Session(self, engine=engine)
 
-    def serve(self, engine: Optional[str] = None, **kwargs) -> "BatchScheduler":
+    def serve(
+        self,
+        engine: Optional[str] = None,
+        parallel: Optional[int] = None,
+        **kwargs,
+    ) -> "BatchScheduler":
         """Start a :class:`~repro.serve.scheduler.BatchScheduler`.
 
         The scheduler admits concurrent single-source k-hop queries into
         a bounded queue and coalesces them into engine-level batches
-        executed against the latest epoch.  Close it (or use it as a
-        context manager) when done.
+        executed against the latest epoch.  ``parallel=N`` scatters the
+        coalesced batches across ``N`` worker processes attached
+        zero-copy to shared-memory epoch exports
+        (:mod:`repro.parallel`); the default comes from
+        ``MoctopusConfig.serve_workers`` (0 = in-process).  Close it (or
+        use it as a context manager) when done.
         """
         from repro.serve.scheduler import BatchScheduler
 
-        return BatchScheduler(self, engine=engine, **kwargs)
+        if parallel is None:
+            parallel = self.config.serve_workers
+        return BatchScheduler(self, engine=engine, parallel=parallel, **kwargs)
 
     @property
     def current_epoch_id(self) -> int:

@@ -195,11 +195,10 @@ def _write_file(path: str, payload: bytes, fsync: bool) -> None:
 
 
 def _fsync_directory(path: str) -> None:
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    # Resolved through the wal module (the shared durable-write hook
+    # surface) so the fault-injection harness's monkeypatch of
+    # ``wal.fsync_directory`` also crashes checkpoint directory fsyncs.
+    wal_log.fsync_directory(path)
 
 
 def persist_checkpoint(

@@ -90,6 +90,25 @@ def wal_write(handle, payload: bytes) -> None:
     handle.write(payload)
 
 
+def fsync_directory(path: str) -> None:
+    """``fsync`` a directory so its entry table is on stable storage.
+
+    Under ``wal_fsync`` a fully-fsynced file is not durable until its
+    *directory entry* is too: a power loss after the file's fsync but
+    before the directory's can orphan the bytes in an unlinked inode.
+    Both durability sites that create or rename durable files — WAL
+    segment creation here and the checkpoint ``os.replace`` in
+    :mod:`repro.durability.checkpoint` — route through this one
+    function, which (like :func:`wal_write`) the fault-injection
+    harness monkeypatches to crash at every directory-fsync boundary.
+    """
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 # ----------------------------------------------------------------------
 # Record encoding
 # ----------------------------------------------------------------------
@@ -474,11 +493,7 @@ class WriteAheadLog:
             # Power-loss contract: the new segment's directory entry
             # must be stable before records land in it, or a crash could
             # orphan fsync'd record bytes in an unlinked file.
-            fd = os.open(self.directory, os.O_RDONLY)
-            try:
-                os.fsync(fd)
-            finally:
-                os.close(fd)
+            fsync_directory(self.directory)
 
     @property
     def current_segment(self) -> str:

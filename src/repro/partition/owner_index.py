@@ -15,7 +15,7 @@ search.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -112,6 +112,47 @@ class OwnerIndex:
         if position < owner_nodes.size and int(owner_nodes[position]) == node:
             return int(self._parts[position])
         return self.UNKNOWN
+
+    @classmethod
+    def from_arrays(
+        cls,
+        dense: Optional[np.ndarray] = None,
+        nodes: Optional[np.ndarray] = None,
+        parts: Optional[np.ndarray] = None,
+    ) -> "OwnerIndex":
+        """Rebuild an index directly from its lookup arrays.
+
+        This is the attach half of shared-memory epoch export
+        (:mod:`repro.parallel.shm`): a worker process reconstructs the
+        frozen owner table zero-copy over arrays that live in a shared
+        segment.  Exactly one representation may be supplied — ``dense``
+        or the sorted ``(nodes, parts)`` pair — or neither for an empty
+        table.  The arrays are used as handed in (callers freeze them).
+        """
+        if dense is not None and nodes is not None:
+            raise ValueError("supply either dense or (nodes, parts), not both")
+        if (nodes is None) != (parts is None):
+            raise ValueError("nodes and parts must be supplied together")
+        index = cls()
+        if dense is not None:
+            index._dense = dense
+        elif nodes is not None:
+            index._nodes = nodes
+            index._parts = parts
+        return index
+
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """The index's lookup arrays, keyed by representation.
+
+        Returns ``{"dense": ...}`` or ``{"nodes": ..., "parts": ...}``
+        (empty dict for an empty table) — the serialization half of
+        shared-memory epoch export, inverted by :meth:`from_arrays`.
+        """
+        if self._dense is not None:
+            return {"dense": self._dense}
+        if self._nodes is not None:
+            return {"nodes": self._nodes, "parts": self._parts}
+        return {}
 
     def frozen_copy(self) -> "OwnerIndex":
         """Point-in-time, read-only copy of the current lookup structure.

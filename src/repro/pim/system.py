@@ -205,6 +205,31 @@ class PIMSystem:
         self.interconnect.lifetime_ipc.bytes_moved = int(ipc[0])
         self.interconnect.lifetime_ipc.transfers = int(ipc[1])
 
+    def absorb_lifetime(self, state: dict) -> None:
+        """Add a captured lifetime delta onto this platform's counters.
+
+        The parallel serving pool merges worker-side accounting with
+        this: each worker task charges a fresh :class:`PIMSystem`, whose
+        :meth:`capture_lifetime` is therefore exactly the task's delta,
+        and the parent folds the deltas in here.  Counters are integer
+        event counts, so the merged totals are bit-identical to charging
+        the same operations on one platform in any order.
+        """
+        for module, values in zip(self.modules, state["modules"]):
+            module.lifetime.bytes_streamed += int(values[0])
+            module.lifetime.random_accesses += int(values[1])
+            module.lifetime.items_processed += int(values[2])
+            module.lifetime.kernels_launched += int(values[3])
+        host = state["host"]
+        self.host.lifetime_sequential_bytes += int(host[0])
+        self.host.lifetime_random_accesses += int(host[1])
+        self.host.lifetime_items_processed += int(host[2])
+        cpc, ipc = state["cpc"], state["ipc"]
+        self.interconnect.lifetime_cpc.bytes_moved += int(cpc[0])
+        self.interconnect.lifetime_cpc.transfers += int(cpc[1])
+        self.interconnect.lifetime_ipc.bytes_moved += int(ipc[0])
+        self.interconnect.lifetime_ipc.transfers += int(ipc[1])
+
     def memory_utilization(self) -> List[float]:
         """Per-module local-memory utilisation (0.0 - 1.0)."""
         return [module.memory.utilization for module in self.modules]

@@ -276,6 +276,18 @@ class EpochManager:
         with self._lock:
             return self._pins.get(epoch_id, 0)
 
+    def pins(self) -> int:
+        """Total open pins across every epoch (0 = no reader holds one).
+
+        The leak detector of the serving suite: after every session,
+        scheduler and worker-pool export has closed, this must return to
+        zero — a nonzero residue means some path dropped an epoch
+        without unpinning it, which permanently blocks retention
+        eviction of that epoch.
+        """
+        with self._lock:
+            return sum(self._pins.values())
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

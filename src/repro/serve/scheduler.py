@@ -15,15 +15,28 @@ throughput multiplier comes from (see
 Every coalesced batch pins the newest epoch for exactly one execution,
 so scheduled queries always observe a consistent published state while
 the writer keeps publishing behind them.
+
+With ``parallel=N`` (``Moctopus.serve(parallel=N)`` /
+``MoctopusConfig.serve_workers``) the scheduler scatters each window's
+per-hops batches across a :class:`~repro.parallel.pool.WorkerPool` of
+``N`` child processes — zero-copy readers of shared-memory epoch
+exports — and gathers the results in submission order, so concurrent
+hop-groups execute on real cores instead of time-slicing one GIL.
+Results, statistics and epoch stamps are bit-identical to in-process
+execution (the differential suite proves it on both engines).
+
+All window timing uses the monotonic clock: a wall-clock (NTP) step can
+neither stall nor collapse the drain window.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from repro.engine.base import create_engine
+from repro.engine.base import ENGINE_NAMES, create_engine
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import PIMSystem
 from repro.rpq.query import KHopQuery
@@ -37,33 +50,54 @@ class SchedulerSaturated(RuntimeError):
     """Raised when the admission queue is full and the caller won't wait."""
 
 
-class ServingFuture:
+class ResultGate:
+    """One-shot outcome cell shared by serving futures and pool tickets.
+
+    First outcome wins (the close/submit race resolves to whichever
+    settles first); waiting re-raises a failure.  Subclasses define the
+    payload shape and the public accessors.
+    """
+
+    def __init__(self, pending: str = "result") -> None:
+        self._event = threading.Event()
+        self._payload = None
+        self._error: Optional[BaseException] = None
+        self._pending = pending
+
+    def _settle(self, payload) -> None:
+        if self._event.is_set():
+            return  # first outcome wins
+        self._payload = payload
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            return
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether an outcome (answer or failure) has been recorded."""
+        return self._event.is_set()
+
+    def _wait(self, timeout: Optional[float]):
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"{self._pending} not answered within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._payload
+
+
+class ServingFuture(ResultGate):
     """Handle for one admitted query; resolves when its batch executes."""
 
     def __init__(self, source: int, hops: int) -> None:
+        super().__init__(pending="query")
         self.source = source
         self.hops = hops
-        self._done = threading.Event()
-        self._destinations: Optional[Set[int]] = None
-        self._stats: Optional[ExecutionStats] = None
-        self._error: Optional[BaseException] = None
 
     def _resolve(self, destinations: Set[int], stats: ExecutionStats) -> None:
-        if self._done.is_set():
-            return  # first outcome wins (close/submit race)
-        self._destinations = destinations
-        self._stats = stats
-        self._done.set()
-
-    def _fail(self, error: BaseException) -> None:
-        if self._done.is_set():
-            return
-        self._error = error
-        self._done.set()
-
-    def done(self) -> bool:
-        """Whether the query has been answered (or failed)."""
-        return self._done.is_set()
+        self._settle((destinations, stats))
 
     def result(self, timeout: Optional[float] = None) -> Set[int]:
         """Destination set of the query (blocks until resolved)."""
@@ -75,11 +109,7 @@ class ServingFuture:
     ) -> Tuple[Set[int], ExecutionStats]:
         """``(destinations, batch stats)`` — stats are shared across the
         coalesced batch this query rode in."""
-        if not self._done.wait(timeout):
-            raise TimeoutError("query not answered within timeout")
-        if self._error is not None:
-            raise self._error
-        return self._destinations, self._stats
+        return self._wait(timeout)
 
 
 class BatchScheduler:
@@ -92,6 +122,8 @@ class BatchScheduler:
         batch_window: Optional[int] = None,
         queue_depth: Optional[int] = None,
         autostart: bool = True,
+        parallel: Optional[int] = None,
+        linger: float = 0.0,
     ) -> None:
         self._system = system
         config = system.config
@@ -101,17 +133,67 @@ class BatchScheduler:
             queue_depth = config.serve_queue_depth
         if batch_window < 1 or queue_depth < 1:
             raise ValueError("batch_window and queue_depth must be >= 1")
+        if linger < 0:
+            raise ValueError("linger must be >= 0 seconds")
         self._window = batch_window
+        #: How long (monotonic seconds) a drain waits for stragglers to
+        #: fill the window.  0 preserves the drain-what's-there default.
+        self._linger = linger
         self._queue: "queue.Queue[Optional[ServingFuture]]" = queue.Queue(
             maxsize=queue_depth
         )
-        #: Private engine + accounting platform: the worker never shares
-        #: execution scratch state with live callers or sessions.
-        self._pim = PIMSystem(config.cost_model)
-        self._engine = create_engine(
-            engine or system.engine_name, system._query_processor._runtime
-        )
+        #: Worker-process pool for ``parallel=N`` scatter/gather
+        #: (``None`` = execute windows in-process on the drain thread).
+        self._pool = None
+        self._gatherer: Optional[threading.Thread] = None
+        self._scattered: Optional["queue.Queue"] = None
+        #: Private engine + accounting platform of in-process execution:
+        #: the drain thread never shares scratch state with live callers
+        #: or sessions.  ``None`` in pool mode (workers own both).
+        self._engine = None
+        self._pim = None
+        if parallel is None:
+            parallel = 0
+        if parallel:
+            # Fail fast on a bad engine name *before* any processes
+            # fork: an invalid name surfacing later (inside a worker)
+            # would leak the pool this constructor could no longer
+            # close.
+            engine_name = engine or system.engine_name
+            if engine_name not in ENGINE_NAMES:
+                raise ValueError(
+                    f"unknown execution engine {engine_name!r}; expected "
+                    f"one of {ENGINE_NAMES}"
+                )
+            # Imported lazily: repro.parallel sits above repro.serve.
+            from repro.parallel.pool import WorkerPool
+
+            self._pool = WorkerPool(system, parallel, engine=engine)
+            # Scatter/gather pipeline: the drain thread keeps scattering
+            # new windows while this bounded queue of in-flight groups
+            # is gathered — in submission order — by a dedicated thread,
+            # so workers never idle between windows.  The bound is the
+            # backpressure that keeps in-flight work proportional to the
+            # pool, not to the admission queue.
+            self._scattered = queue.Queue(maxsize=2 * parallel)
+            self._gatherer = threading.Thread(
+                target=self._gather, name="moctopus-batch-gatherer",
+                daemon=True,
+            )
+            self._gatherer.start()
+        else:
+            # In-process mode only: pool mode executes on the workers'
+            # engines and accounts on the pool's platform, so building
+            # these there would be dead (and misleading) state.
+            self._pim = PIMSystem(config.cost_model)
+            self._engine = create_engine(
+                engine or system.engine_name,
+                system._query_processor._runtime,
+            )
         self._closed = threading.Event()
+        #: Serializes ``close()``: concurrent/double closes must not race
+        #: the drain thread or tear down the pool twice.
+        self._close_lock = threading.Lock()
         self._worker = threading.Thread(
             target=self._run, name="moctopus-batch-scheduler", daemon=True
         )
@@ -121,6 +203,11 @@ class BatchScheduler:
         self.queries_served = 0
         if autostart:
             self._worker.start()
+
+    @property
+    def parallel_workers(self) -> int:
+        """Worker processes behind this scheduler (0 = in-process)."""
+        return self._pool.workers if self._pool is not None else 0
 
     # ------------------------------------------------------------------
     # Client side
@@ -158,32 +245,60 @@ class BatchScheduler:
         return self.submit(source, hops).result()
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Stop the worker after draining already-admitted queries."""
-        if self._closed.is_set():
-            return
-        self._closed.set()
-        try:
-            self._queue.put_nowait(None)  # wake the worker early
-        except queue.Full:
-            pass  # the worker's poll loop notices the flag anyway
-        if self._worker.is_alive():
-            self._worker.join(timeout)
-        # Fail anything that slipped into the queue after the worker's
-        # final drain (the submit()/close() race) — no caller may be
-        # left blocking on a future nobody will resolve.  Only when the
-        # worker is really gone: if the join merely timed out mid-batch,
-        # the still-running worker will drain (and answer) the queue
-        # itself, and stealing its items would spuriously fail admitted
-        # queries.
-        if self._worker.is_alive():
-            return
-        while True:
-            try:
-                stranded = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if stranded is not None:
-                stranded._fail(RuntimeError("scheduler closed before execution"))
+        """Stop the worker after draining already-admitted queries.
+
+        Idempotent and safe to call concurrently: the close lock
+        serializes every caller, so a double ``close()`` (or a close
+        racing another close) performs the teardown exactly once and
+        the later callers simply wait for it to finish.  Queries already
+        admitted when ``close()`` is called are still drained and
+        answered by the worker before it exits.
+        """
+        with self._close_lock:
+            if not self._closed.is_set():
+                self._closed.set()
+                try:
+                    self._queue.put_nowait(None)  # wake the worker early
+                except queue.Full:
+                    pass  # the worker's poll loop notices the flag anyway
+            if self._worker.is_alive():
+                self._worker.join(timeout)
+            if self._worker.is_alive() and self._pool is not None:
+                # In pool mode a drain thread that outlives the join is
+                # almost certainly wedged *on the pool* — blocked
+                # scattering into a full pipeline behind a hung worker.
+                # Closing the pool fails every in-flight ticket, which
+                # unblocks the gatherer and then the drain thread; an
+                # in-process drain (below) needs no such push and is
+                # left to finish on its own.
+                self._pool.close()
+                self._worker.join(timeout)
+            # Fail anything that slipped into the queue after the
+            # worker's final drain (the submit()/close() race) — no
+            # caller may be left blocking on a future nobody will
+            # resolve.  Only when the worker is really gone: if the join
+            # merely timed out mid-batch, the still-running worker will
+            # drain (and answer) the queue itself, and stealing its
+            # items would spuriously fail admitted queries.
+            if self._worker.is_alive():
+                return
+            while True:
+                try:
+                    stranded = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if stranded is not None:
+                    stranded._fail(
+                        RuntimeError("scheduler closed before execution")
+                    )
+            if self._gatherer is not None and self._gatherer.is_alive():
+                # Everything the drain thread scattered is already in the
+                # pipeline queue; the sentinel lands behind it, so the
+                # gatherer resolves every in-flight group before exiting.
+                self._scattered.put(None)
+                self._gatherer.join(timeout)
+            if self._pool is not None:
+                self._pool.close()
 
     def __enter__(self) -> "BatchScheduler":
         return self
@@ -207,9 +322,22 @@ class BatchScheduler:
                     return
                 continue
             window: List[ServingFuture] = [first]
+            # Window timing runs on the monotonic clock: an NTP step of
+            # the wall clock can neither freeze the linger (clock jumped
+            # back) nor collapse it to zero (clock jumped forward).
+            deadline = (
+                time.monotonic() + self._linger if self._linger > 0 else None
+            )
             while len(window) < self._window:
                 try:
-                    item = self._queue.get_nowait()
+                    if deadline is None:
+                        item = self._queue.get_nowait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining > 0 and not self._closed.is_set():
+                            item = self._queue.get(timeout=remaining)
+                        else:
+                            item = self._queue.get_nowait()
                 except queue.Empty:
                     break
                 if item is None:
@@ -220,16 +348,67 @@ class BatchScheduler:
                 return
 
     def _execute_window(self, window: List[ServingFuture]) -> None:
-        """Group a drained window by hop count and run one batch each."""
+        """Group a drained window by hop count and run one batch each.
+
+        In-process mode executes the groups back to back on this
+        thread; with a worker pool the groups are *scattered* first —
+        one task per hops-group, round-robin across the workers, all in
+        flight at once — and gathered in submission order, so the
+        window's groups execute concurrently on separate processes.
+        """
         by_hops: Dict[int, List[ServingFuture]] = {}
         for future in window:
             by_hops.setdefault(future.hops, []).append(future)
-        for hops, group in sorted(by_hops.items()):
+        groups = sorted(by_hops.items())
+        if self._pool is None:
+            for hops, group in groups:
+                try:
+                    self._execute_group(hops, group)
+                except BaseException as error:  # pragma: no cover - defensive
+                    for future in group:
+                        future._fail(error)
+            return
+        for hops, group in groups:
             try:
-                self._execute_group(hops, group)
-            except BaseException as error:  # pragma: no cover - defensive
+                ticket = self._pool.submit_khop(
+                    hops, [future.source for future in group]
+                )
+            except BaseException as error:
                 for future in group:
                     future._fail(error)
+                continue
+            self._scattered.put((group, ticket))
+
+    def _gather(self) -> None:
+        """Resolve scattered groups in submission order (pool mode)."""
+        while True:
+            item = self._scattered.get()
+            if item is None:
+                return
+            group, ticket = item
+            try:
+                result, stats, epoch_id = ticket.outcome()
+            except BaseException as error:
+                for future in group:
+                    future._fail(error)
+                continue
+            self._account_group(epoch_id, stats, len(group))
+            for row, future in enumerate(group):
+                future._resolve(result.destinations_of(row), stats)
+
+    def _account_group(self, epoch_id: int, stats, group_size: int) -> None:
+        """Stamp and count one executed group (in-process or pooled).
+
+        One shared implementation keeps the stats of both execution
+        paths bit-identical: the same counters are added in the same
+        order whether the batch ran on this thread or on a worker
+        process.
+        """
+        stats.add_counter("epoch", epoch_id)
+        stats.add_counter("coalesced_queries", group_size)
+        self._system._epochs.note_served(epoch_id, group_size)
+        self.batches_executed += 1
+        self.queries_served += group_size
 
     def _execute_group(self, hops: int, group: List[ServingFuture]) -> None:
         manager = self._system._epochs
@@ -242,11 +421,7 @@ class BatchScheduler:
             result, stats = self._system._query_processor.execute_on_view(
                 query, view, self._engine
             )
-            stats.add_counter("epoch", epoch.epoch_id)
-            stats.add_counter("coalesced_queries", len(group))
-            manager.note_served(epoch.epoch_id, len(group))
-            self.batches_executed += 1
-            self.queries_served += len(group)
+            self._account_group(epoch.epoch_id, stats, len(group))
             for row, future in enumerate(group):
                 future._resolve(result.destinations_of(row), stats)
         finally:

@@ -91,20 +91,48 @@ class Session:
         Staged (uncommitted) updates survive a refresh: they are
         re-spliced onto the new epoch, so read-your-writes holds across
         the move.
+
+        The swap is exception-safe: the old epoch's pin is only released
+        after the move onto the new epoch (including the overlay rebase)
+        has fully succeeded.  If anything raises in between, the freshly
+        taken pin is dropped and the session rolls back to its previous
+        epoch, staged ops and overlay — pin counts stay balanced either
+        way, so a failed refresh can never block retention eviction.
         """
         self._assert_open()
-        latest = self._system._epochs.pin()
-        self._system._epochs.unpin(self._epoch)
-        self._epoch = latest
-        self._rebase_local()
-        self._view_cache = None
+        manager = self._system._epochs
+        latest = manager.pin()
+        previous = self._epoch
+        # ``_rebase_local`` clears the staged state in place, so roll-back
+        # needs real copies, not aliases.
+        staged = list(self._ops)
+        local_backup = {node: list(row) for node, row in self._local.items()}
+        new_nodes_backup = dict(self._new_nodes)
+        try:
+            self._epoch = latest
+            self._view_cache = None
+            self._rebase_local()
+        except BaseException:
+            self._epoch = previous
+            self._ops = staged
+            self._local = local_backup
+            self._new_nodes = new_nodes_backup
+            self._view_cache = None
+            manager.unpin(latest)
+            raise
+        manager.unpin(previous)
         return self._epoch.epoch_id
 
     def close(self) -> None:
-        """Release the pinned epoch; further calls raise."""
+        """Release the pinned epoch; idempotent (extra calls are no-ops).
+
+        The session is marked closed *before* unpinning so a failure
+        inside the manager can never lead to a double-unpin on retry;
+        queries and writes after ``close()`` raise.
+        """
         if not self._closed:
-            self._system._epochs.unpin(self._epoch)
             self._closed = True
+            self._system._epochs.unpin(self._epoch)
 
     def __enter__(self) -> "Session":
         return self

@@ -2,13 +2,16 @@
 
 Every durable byte a Moctopus system writes — WAL records *and*
 checkpoint files — goes through one function,
-:func:`repro.durability.wal.wal_write`.  The harness swaps that function
-for a counting wrapper that kills the "process" (raises
-:class:`SimulatedCrash`) at a chosen write, optionally after only a
-prefix of the payload has reached the file.  Because the write sequence
-of a fixed workload is deterministic, enumerating ``(write index,
-tear mode)`` pairs visits **every** WAL/checkpoint boundary, including
-torn records and torn checkpoints — no timing, no randomness.
+:func:`repro.durability.wal.wal_write`, and every durable *directory
+entry* (WAL segment creation, checkpoint publication) through its
+sibling :func:`repro.durability.wal.fsync_directory`.  The harness
+swaps both for counting wrappers that kill the "process" (raises
+:class:`SimulatedCrash`) at a chosen write or directory fsync,
+optionally after only a prefix of the payload has reached the file.
+Because the write sequence of a fixed workload is deterministic,
+enumerating ``(index, tear mode)`` pairs visits **every** WAL/checkpoint
+boundary, including torn records, torn checkpoints and unsynced
+directory entries — no timing, no randomness.
 
 The other half of the harness is the equivalence check: a
 :func:`fingerprint` captures exactly the state the acceptance criteria
@@ -46,10 +49,21 @@ class SimulatedCrash(Exception):
 
 
 class FaultInjector:
-    """Monkeypatch ``wal_write`` to crash at write ``target`` (0-based).
+    """Monkeypatch the durable-write hooks to crash at a chosen boundary.
 
-    Use as a context manager.  With ``target=None`` it only counts, so a
-    dry run discovers how many crash points a workload has:
+    Two independent crash axes, both 0-based and both discoverable with
+    a counting dry run:
+
+    * ``target``/``mode`` — byte writes through ``wal_write`` (WAL
+      records and checkpoint files), torn with ``TEAR_PARTIAL``;
+    * ``fsync_target``/``fsync_mode`` — directory fsyncs through
+      ``fsync_directory`` (segment creation, checkpoint publication —
+      the power-loss directory-entry contract).  A directory fsync has
+      no payload to tear, so ``TEAR_PARTIAL`` behaves like
+      ``TEAR_BEFORE``.
+
+    Use as a context manager.  With no targets it only counts, so a dry
+    run discovers how many crash points a workload has:
 
     .. code-block:: python
 
@@ -64,17 +78,26 @@ class FaultInjector:
     """
 
     def __init__(
-        self, target: Optional[int] = None, mode: str = TEAR_BEFORE
+        self,
+        target: Optional[int] = None,
+        mode: str = TEAR_BEFORE,
+        fsync_target: Optional[int] = None,
+        fsync_mode: str = TEAR_BEFORE,
     ) -> None:
-        if mode not in TEAR_MODES:
-            raise ValueError(f"unknown tear mode {mode!r}")
+        if mode not in TEAR_MODES or fsync_mode not in TEAR_MODES:
+            raise ValueError(f"unknown tear mode {mode!r}/{fsync_mode!r}")
         self.target = target
         self.mode = mode
+        self.fsync_target = fsync_target
+        self.fsync_mode = fsync_mode
         self.writes_seen = 0
+        self.fsyncs_seen = 0
         self._original = None
+        self._original_fsync = None
 
     def __enter__(self) -> "FaultInjector":
         self._original = wal_module.wal_write
+        self._original_fsync = wal_module.fsync_directory
 
         def injected(handle, payload: bytes) -> None:
             index = self.writes_seen
@@ -89,11 +112,25 @@ class FaultInjector:
                 )
             self._original(handle, payload)
 
+        def injected_fsync(path: str) -> None:
+            index = self.fsyncs_seen
+            self.fsyncs_seen += 1
+            if self.fsync_target is not None and index == self.fsync_target:
+                if self.fsync_mode == TEAR_AFTER:
+                    self._original_fsync(path)
+                raise SimulatedCrash(
+                    f"injected crash at directory fsync {index} "
+                    f"({self.fsync_mode})"
+                )
+            self._original_fsync(path)
+
         wal_module.wal_write = injected
+        wal_module.fsync_directory = injected_fsync
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         wal_module.wal_write = self._original
+        wal_module.fsync_directory = self._original_fsync
 
 
 # ----------------------------------------------------------------------

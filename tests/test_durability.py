@@ -711,6 +711,49 @@ def test_wal_fsync_roundtrip(tmp_path):
     recovered.close()
 
 
+def test_dir_fsync_crash_points(tmp_path):
+    """Kill the pipeline at every *directory fsync* boundary under
+    ``wal_fsync=True`` (segment creation, checkpoint publication):
+    recovery must land exactly on a durable prefix of the reference."""
+    graph = power_law_graph(num_nodes=40, edges_per_node=2, skew=0.8, seed=5)
+    steps = [
+        ("batch", [UpdateOp(UpdateKind.INSERT, 50 + i, 60 + i) for i in range(4)], None),
+        ("checkpoint",),
+        ("batch", [UpdateOp(UpdateKind.INSERT, 70 + i, 80 + i) for i in range(4)], None),
+    ]
+
+    def fsync_config(path=None):
+        # Small segments force rotation (extra directory-fsync sites).
+        return _config(path, wal_fsync=True, wal_segment_bytes=1024)
+
+    _, fingerprints, _ = run_reference(graph, steps, fsync_config())
+
+    dry_dir = tmp_path / "dry"
+    with FaultInjector() as counter:
+        system = run_durable(graph, steps, fsync_config(dry_dir))
+    system.close()
+    # Segment creation + rotation + checkpoint tmp/parent fsyncs.
+    assert counter.fsyncs_seen >= 3, "workload hit too few fsync points"
+
+    for fsync_index in range(counter.fsyncs_seen):
+        for mode in ("before", "after"):
+            context = f"crash@dirfsync{fsync_index}/{mode}"
+            crash_dir = tmp_path / f"crash-{fsync_index}-{mode}"
+            with FaultInjector(fsync_target=fsync_index, fsync_mode=mode):
+                with pytest.raises(SimulatedCrash):
+                    run_durable(graph, steps, fsync_config(crash_dir))
+            recovered = Moctopus.recover(
+                str(crash_dir), config=fsync_config(crash_dir)
+            )
+            applied = recovered.durable_lsn
+            assert 0 <= applied < len(fingerprints), context
+            assert_fingerprints_equal(
+                fingerprint(recovered), fingerprints[applied], context
+            )
+            recovered.close()
+            shutil.rmtree(crash_dir)
+
+
 def test_daemon_survives_checkpoint_failure(tmp_path, monkeypatch):
     """A transient checkpoint error must not kill the daemon thread."""
     import time

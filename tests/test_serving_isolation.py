@@ -24,6 +24,7 @@ the model's, and the bounded admission queue must push back when full.
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 from hypothesis import settings
@@ -385,6 +386,162 @@ def test_scheduler_sees_new_epochs():
         after = scheduler.query(0, 1)
         assert after == model.khop([0], 1)[0]
         assert 333 in after
+
+
+# ----------------------------------------------------------------------
+# Pin accounting: injected failures must never leak an epoch pin
+# ----------------------------------------------------------------------
+def test_refresh_failure_leaks_no_pin(monkeypatch):
+    """A refresh that raises mid-swap rolls back: same epoch, same staged
+    ops, balanced pin counts — retention eviction stays unblocked."""
+    system = build_system(21, "vectorized")
+    manager = system._epochs
+    session = system.begin()
+    session.insert_edges([(0, 99)])
+    staged_before = session.pending_updates
+    epoch_before = session.epoch_id
+    system.insert_edges([(1, 2)])  # make the next refresh a real move
+    assert manager.pins() == 1
+
+    from repro.serve.session import Session
+
+    def exploding_rebase(self):
+        raise RuntimeError("injected rebase failure")
+
+    monkeypatch.setattr(Session, "_rebase_local", exploding_rebase)
+    with pytest.raises(RuntimeError, match="injected rebase"):
+        session.refresh()
+    assert manager.pins() == 1, "failed refresh leaked an epoch pin"
+    assert session.epoch_id == epoch_before, "failed refresh moved epochs"
+    assert session.pending_updates == staged_before, (
+        "failed refresh lost staged updates"
+    )
+    monkeypatch.undo()
+    # The session is still fully usable, and a successful refresh moves.
+    assert session.refresh() > epoch_before
+    result, _ = session.batch_khop([0], 1)
+    assert 99 in result.destinations_of(0), "read-your-writes survived"
+    session.close()
+    assert manager.pins() == 0
+    session.close()  # idempotent
+
+
+def test_commit_failure_keeps_pins_balanced(monkeypatch):
+    """A writer failure during commit leaves the session pinned exactly
+    once (on its old epoch) and the staged batch intact for a retry."""
+    system = build_system(22, "python")
+    manager = system._epochs
+    session = system.begin()
+    session.insert_edges([(3, 77)])
+    assert manager.pins() == 1
+
+    def exploding_apply(ops, labels=None):
+        raise RuntimeError("injected writer failure")
+
+    monkeypatch.setattr(system, "apply_updates", exploding_apply)
+    with pytest.raises(RuntimeError, match="injected writer"):
+        session.commit()
+    assert manager.pins() == 1, "failed commit leaked an epoch pin"
+    assert session.pending_updates == 1, "failed commit dropped staged ops"
+    monkeypatch.undo()
+    session.commit()
+    assert system.has_edge(3, 77)
+    session.close()
+    assert manager.pins() == 0
+
+
+def test_epoch_retention_under_concurrent_churn():
+    """500 threaded sessions under writer churn: pins return to zero,
+    retired epochs really free their snapshot references."""
+    import gc
+    import threading
+
+    from repro.serve.epoch import Epoch
+
+    system = build_system(23, "vectorized")
+    manager = system._epochs
+    num_threads, per_thread = 8, 63  # 504 sessions
+    errors: list = []
+    stop_writer = threading.Event()
+
+    def writer():
+        round_id = 0
+        while not stop_writer.is_set():
+            system.insert_edges([(round_id % 40, 40 + round_id % 40)])
+            round_id += 1
+            time.sleep(0.001)
+
+    def churn(thread_id: int):
+        try:
+            for index in range(per_thread):
+                with system.begin() as session:
+                    session.batch_khop([(thread_id + index) % 28], 1)
+                    if index % 7 == 0:
+                        session.refresh()
+        except BaseException as error:  # pragma: no cover - debugging aid
+            errors.append(error)
+
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    threads = [
+        threading.Thread(target=churn, args=(thread_id,))
+        for thread_id in range(num_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stop_writer.set()
+    writer_thread.join()
+    assert not errors, errors
+    assert manager.pins() == 0, "churned sessions left pins behind"
+    assert len(manager.retained_ids()) <= system.config.epoch_retention
+    # Retired epochs must actually be freed: the only live Epoch objects
+    # are the retained ones (plus nothing lingering in session scratch).
+    gc.collect()
+    live_epochs = [
+        obj for obj in gc.get_objects() if isinstance(obj, Epoch)
+    ]
+    assert len(live_epochs) <= system.config.epoch_retention, (
+        f"{len(live_epochs)} live Epoch objects after churn "
+        f"(retention={system.config.epoch_retention})"
+    )
+
+
+def test_scheduler_close_is_idempotent_and_concurrent():
+    """Double close, concurrent close, and close-with-queued-work all
+    resolve every admitted future exactly once."""
+    import threading
+
+    system = build_system(24, "vectorized")
+    scheduler = system.serve()
+    futures = [scheduler.submit(source, 1) for source in range(6)]
+    closers = [
+        threading.Thread(target=scheduler.close) for _ in range(3)
+    ]
+    for thread in closers:
+        thread.start()
+    for thread in closers:
+        thread.join()
+    scheduler.close()  # and once more after the fact
+    for future in futures:
+        # Admitted before close: either answered (drained) or cleanly
+        # failed — never stranded.
+        assert future.done()
+    assert system._epochs.pins() == 0
+
+
+def test_scheduler_linger_window_answers_correctly():
+    """A lingering drain window (monotonic timing) still answers every
+    query against the oracle."""
+    system = build_system(25, "vectorized")
+    model = build_model(25)
+    with system.serve(linger=0.02) as scheduler:
+        futures = [
+            (source, scheduler.submit(source, 2)) for source in range(12)
+        ]
+        for source, future in futures:
+            assert future.result(timeout=30) == model.khop([source], 2)[0]
 
 
 # ----------------------------------------------------------------------
