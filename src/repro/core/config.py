@@ -12,7 +12,8 @@ ablations can sweep them:
 * switches to disable labor division or migration, which is how the
   PIM-hash contrast system and the ablation benches are expressed;
 * the physical execution backend (``engine``) — the scalar reference
-  engine or the vectorized numpy engine, which are required to agree on
+  engine, the vectorized numpy engine or the semiring-matrix engine,
+  which are required to agree on
   every result and every simulated counter;
 * the snapshot-maintenance knobs (``snapshot_compact_ratio``,
   ``snapshot_incremental``) controlling how the storages refresh their
@@ -72,10 +73,13 @@ class MoctopusConfig:
     #: migration overhead bounded as the paper intends.
     max_migrations_per_query: int = 4096
     #: Physical execution backend for batch queries: ``"python"`` (the
-    #: scalar reference engine, exact original semantics) or
+    #: scalar reference engine, exact original semantics),
     #: ``"vectorized"`` (numpy columnar frontiers over CSR storage
-    #: snapshots).  Both produce identical results and identical
-    #: simulated statistics; vectorized is much faster wall-clock.
+    #: snapshots) or ``"matrix"`` (masked boolean-semiring SpGEMM over
+    #: pre-transposed CSR blocks, falling back to the push path for
+    #: sparse frontiers).  All produce identical results and identical
+    #: simulated statistics; the numpy backends are much faster
+    #: wall-clock, with ``"matrix"`` ahead on dense multi-hop frontiers.
     engine: str = "python"
     #: Dirty-row fraction of a storage's cached CSR base above which a
     #: snapshot refresh compacts (rebuilds the base from scratch) instead
@@ -137,9 +141,10 @@ class MoctopusConfig:
                 "pim_placement must be 'radical_greedy' or 'hash', "
                 f"got {self.pim_placement!r}"
             )
-        if self.engine not in ("python", "vectorized"):
+        if self.engine not in ("python", "vectorized", "matrix"):
             raise ValueError(
-                f"engine must be 'python' or 'vectorized', got {self.engine!r}"
+                "engine must be 'python', 'vectorized' or 'matrix', "
+                f"got {self.engine!r}"
             )
         if not 0.0 < self.misplacement_threshold <= 1.0:
             raise ValueError("misplacement_threshold must be in (0, 1]")

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.local_storage import BYTES_PER_ENTRY, LocalGraphStorage
+from repro.graph.stream import UpdateKind
 from repro.rpq.automaton import DFA
 from repro.rpq.query import ContextSet
 
@@ -130,24 +131,34 @@ class OperatorProcessor:
     # ------------------------------------------------------------------
     def process_add(self, edges: List[Tuple[int, int, int]]) -> UpdateWork:
         """Apply a batch of edge insertions to the local segment."""
-        work = UpdateWork()
-        for src, dst, label in edges:
-            row_length = self.storage.row_length(src)
-            work.map_lookups += 1
-            work.bytes_streamed += row_length * BYTES_PER_ENTRY
-            work.items_processed += 1
-            if self.storage.add_edge(src, dst, label):
-                work.applied += 1
-        return work
+        return self.process_update_ops(
+            [(UpdateKind.INSERT, src, dst, label) for src, dst, label in edges]
+        )
 
     def process_sub(self, edges: List[Tuple[int, int]]) -> UpdateWork:
         """Apply a batch of edge deletions to the local segment."""
+        return self.process_update_ops(
+            [(UpdateKind.DELETE, src, dst, 0) for src, dst in edges]
+        )
+
+    def process_update_ops(
+        self, entries: List[Tuple[UpdateKind, int, int, int]]
+    ) -> UpdateWork:
+        """Apply a mixed ``(kind, src, dst, label)`` sequence in order.
+
+        Applying insertions and deletions interleaved (rather than one
+        whole operator after the other) keeps a delete→insert of the
+        same edge within one batch at its sequential result.
+        """
         work = UpdateWork()
-        for src, dst in edges:
+        for kind, src, dst, label in entries:
             row_length = self.storage.row_length(src)
             work.map_lookups += 1
             work.bytes_streamed += row_length * BYTES_PER_ENTRY
             work.items_processed += 1
-            if self.storage.remove_edge(src, dst):
+            if kind is UpdateKind.INSERT:
+                if self.storage.add_edge(src, dst, label):
+                    work.applied += 1
+            elif self.storage.remove_edge(src, dst):
                 work.applied += 1
         return work

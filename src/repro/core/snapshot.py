@@ -63,6 +63,54 @@ _EMPTY.flags.writeable = False
 RowEntries = List[Tuple[int, int]]
 
 
+class TransposedBlock:
+    """In-edge (CSC-style) view of a snapshot's adjacency: edges grouped
+    by *destination*.
+
+    ``dsts`` holds the sorted unique destination node ids, ``indptr``
+    the per-destination segment bounds, and ``src_rows`` the producing
+    row *indices* (positions into the owning snapshot's ``node_ids``,
+    not global ids) of each in-edge.  This is the matrix engine's
+    pull-side operand: one ``np.bitwise_or.reduceat`` over the
+    ``indptr`` segments computes ``frontier ⊗ Adj`` for a whole
+    partition without any per-phase edge sort.
+    """
+
+    __slots__ = ("dsts", "indptr", "src_rows")
+
+    def __init__(
+        self, dsts: np.ndarray, indptr: np.ndarray, src_rows: np.ndarray
+    ) -> None:
+        self.dsts = dsts
+        self.indptr = indptr
+        self.src_rows = src_rows
+        for array in (dsts, indptr, src_rows):
+            array.flags.writeable = False
+
+    @property
+    def num_edges(self) -> int:
+        """Number of in-edges in the block."""
+        return len(self.src_rows)
+
+
+def _transpose_edges(
+    dsts: np.ndarray, src_rows: np.ndarray
+) -> TransposedBlock:
+    """Group ``(src_row, dst)`` edge pairs by destination."""
+    if dsts.size == 0:
+        return TransposedBlock(
+            _EMPTY.copy(), np.zeros(1, dtype=np.int64), _EMPTY.copy()
+        )
+    order = np.argsort(dsts, kind="stable")
+    sorted_dsts = dsts[order]
+    boundary = np.empty(len(sorted_dsts), dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_dsts[1:], sorted_dsts[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    indptr = np.append(starts, len(sorted_dsts))
+    return TransposedBlock(sorted_dsts[starts], indptr, src_rows[order])
+
+
 class GraphSnapshot:
     """Immutable CSR view of one storage's adjacency rows.
 
@@ -93,6 +141,15 @@ class GraphSnapshot:
         #: (the host's ``cols_vector`` capacity; a module's segment bytes).
         self.working_set_bytes = working_set_bytes
         self.degrees = np.diff(indptr)
+        # Lazily built derived views (transpose / per-label blocks /
+        # degree histogram).  A snapshot is immutable — the storages'
+        # SnapshotCache *replaces* the snapshot object on any mutation —
+        # so once built these can never go stale.  Concurrent pinned
+        # readers may race to build one; both compute the same arrays
+        # and the single reference assignment publishes either safely.
+        self._transpose: Optional[TransposedBlock] = None
+        self._label_blocks: Optional[dict] = None
+        self._degree_histogram: Optional[np.ndarray] = None
 
     @property
     def num_rows(self) -> int:
@@ -138,6 +195,68 @@ class GraphSnapshot:
         return list(
             zip(self.dsts[start:stop].tolist(), self.labels[start:stop].tolist())
         )
+
+    def degree_histogram(self) -> np.ndarray:
+        """Out-degree histogram of the snapshot's rows (cached, frozen).
+
+        ``histogram[d]`` is the number of rows with out-degree ``d``;
+        always at least one bucket long.  Computed once per snapshot
+        from the CSR ``indptr`` diff — the dense-vs-sparse crossover
+        substrate of the matrix engine and the cost-based planner.
+        """
+        histogram = self._degree_histogram
+        if histogram is None:
+            histogram = np.bincount(self.degrees, minlength=1).astype(np.int64)
+            histogram.flags.writeable = False
+            self._degree_histogram = histogram
+        return histogram
+
+    def transpose_block(self) -> TransposedBlock:
+        """In-edges of the snapshot grouped by destination (cached).
+
+        Built once per snapshot: ``src_rows`` repeats each row index by
+        its degree, then a stable sort by destination groups the edges.
+        """
+        block = self._transpose
+        if block is None:
+            src_rows = np.repeat(
+                np.arange(self.num_rows, dtype=np.int64), self.degrees
+            )
+            block = _transpose_edges(self.dsts, src_rows)
+            self._transpose = block
+        return block
+
+    def label_blocks(self) -> dict:
+        """Per-label transposed adjacency blocks (cached): label ->
+        :class:`TransposedBlock` over only that label's edges.
+
+        The matrix engine's DFA path pulls one block per (label, live
+        automaton transition) pair, so edges whose label the automaton
+        rejects are never touched.
+        """
+        blocks = self._label_blocks
+        if blocks is None:
+            blocks = {}
+            if self.num_edges:
+                src_rows = np.repeat(
+                    np.arange(self.num_rows, dtype=np.int64), self.degrees
+                )
+                order = np.argsort(self.labels, kind="stable")
+                sorted_labels = self.labels[order]
+                boundary = np.empty(len(sorted_labels), dtype=bool)
+                boundary[0] = True
+                np.not_equal(
+                    sorted_labels[1:], sorted_labels[:-1], out=boundary[1:]
+                )
+                starts = np.flatnonzero(boundary)
+                stops = np.append(starts[1:], len(sorted_labels))
+                for start, stop in zip(starts.tolist(), stops.tolist()):
+                    chunk = order[start:stop]
+                    blocks[int(sorted_labels[start])] = _transpose_edges(
+                        self.dsts[chunk], src_rows[chunk]
+                    )
+            self._label_blocks = blocks
+        return blocks
 
     def freeze(self) -> "GraphSnapshot":
         """Mark every array read-only and return ``self``.

@@ -75,85 +75,112 @@ from repro.pim.stats import ExecutionStats
 from repro.pim.system import OperationContext, PIMSystem
 
 
+#: One queued module update: ``(seq, kind, src, dst, label)`` where
+#: ``seq`` is the op's position in the original batch.  Deletes carry
+#: ``DEFAULT_LABEL`` (labels are ignored on removal).
+PendingEntry = Tuple[int, UpdateKind, int, int, int]
+
+
 class _PendingBatch:
     """Per-module ``add``/``sub`` operator payloads of one batch.
 
-    Entries are indexed by source as they are queued, because a source
-    promoted to the host mid-batch must pull its already-queued updates
-    out of its old module's operators (they would otherwise be applied
-    to a row that no longer lives there).  Requeueing tombstones the
-    entries in place — survivor order is untouched and one promotion
+    Every entry records its position in the original batch (``seq``), and
+    :meth:`finalize` hands each module its payload sorted by ``seq`` — so
+    the module applies its slice of the batch in true batch order even
+    though insertions and deletions travel as separate ``add``/``sub``
+    operators.  Applying the grouped operators wholesale (all adds, then
+    all subs) would silently resolve a delete→insert of the same edge
+    within one batch to *absent*, diverging from sequential semantics.
+
+    Entries are also indexed by source as they are queued, because a
+    source promoted to the host mid-batch must pull its already-queued
+    updates out of its old module's operators (they would otherwise be
+    applied to a row that no longer lives there).  Requeueing tombstones
+    the entries in place — survivor order is untouched and one promotion
     costs O(pending-for-source), not a rescan of the whole batch —
     and :meth:`finalize` drops the tombstones in a single pass.
     """
 
     def __init__(self) -> None:
-        self.adds: Dict[int, List[Optional[Tuple[int, int, int]]]] = {}
-        self.subs: Dict[int, List[Optional[Tuple[int, int]]]] = {}
-        self._add_positions: Dict[Tuple[int, int], List[int]] = {}
-        self._sub_positions: Dict[Tuple[int, int], List[int]] = {}
+        self.ops: Dict[int, List[Optional[PendingEntry]]] = {}
+        self._positions: Dict[Tuple[int, int], List[int]] = {}
+        #: Which operator kinds were ever queued per module; an operator
+        #: fully drained by requeues still ships (empty) and its kernel
+        #: launch is still part of the charged work.
+        self._operators: Dict[int, set] = {}
 
-    def queue_add(self, module: int, src: int, dst: int, label: int) -> None:
+    def queue_add(self, module: int, seq: int, src: int, dst: int, label: int) -> None:
         """Queue one insertion for ``module``, indexed for a possible
         requeue; use :meth:`extend_adds` for sources that cannot promote."""
-        bucket = self.adds.setdefault(module, [])
-        self._add_positions.setdefault((module, src), []).append(len(bucket))
-        bucket.append((src, dst, label))
+        bucket = self.ops.setdefault(module, [])
+        self._positions.setdefault((module, src), []).append(len(bucket))
+        self._operators.setdefault(module, set()).add(UpdateKind.INSERT)
+        bucket.append((seq, UpdateKind.INSERT, src, dst, label))
 
-    def queue_sub(self, module: int, src: int, dst: int) -> None:
+    def queue_sub(self, module: int, seq: int, src: int, dst: int) -> None:
         """Queue one deletion for ``module`` (see :meth:`queue_add`)."""
-        bucket = self.subs.setdefault(module, [])
-        self._sub_positions.setdefault((module, src), []).append(len(bucket))
-        bucket.append((src, dst))
+        bucket = self.ops.setdefault(module, [])
+        self._positions.setdefault((module, src), []).append(len(bucket))
+        self._operators.setdefault(module, set()).add(UpdateKind.DELETE)
+        bucket.append((seq, UpdateKind.DELETE, src, dst, DEFAULT_LABEL))
 
-    def extend_adds(self, module: int, entries: List[Tuple[int, int, int]]) -> None:
-        """Bulk-queue insertions whose sources can never be requeued."""
-        self.adds.setdefault(module, []).extend(entries)
+    def extend_adds(
+        self, module: int, entries: List[Tuple[int, int, int, int]]
+    ) -> None:
+        """Bulk-queue ``(seq, src, dst, label)`` insertions whose sources
+        can never be requeued."""
+        if not entries:
+            return
+        self._operators.setdefault(module, set()).add(UpdateKind.INSERT)
+        self.ops.setdefault(module, []).extend(
+            (seq, UpdateKind.INSERT, src, dst, label)
+            for seq, src, dst, label in entries
+        )
 
-    def extend_subs(self, module: int, entries: List[Tuple[int, int]]) -> None:
-        """Bulk-queue deletions whose sources can never be requeued."""
-        self.subs.setdefault(module, []).extend(entries)
+    def extend_subs(self, module: int, entries: List[Tuple[int, int, int]]) -> None:
+        """Bulk-queue ``(seq, src, dst)`` deletions whose sources can
+        never be requeued."""
+        if not entries:
+            return
+        self._operators.setdefault(module, set()).add(UpdateKind.DELETE)
+        self.ops.setdefault(module, []).extend(
+            (seq, UpdateKind.DELETE, src, dst, DEFAULT_LABEL)
+            for seq, src, dst in entries
+        )
 
-    def requeue_source(
-        self, src: int, module: int
-    ) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int]]]:
-        """Remove and return ``src``'s pending entries on ``module``.
-
-        Returned in queueing order (adds, then subs), exactly the order
-        the scalar rescan used to discover them.
-        """
-        adds: List[Tuple[int, int, int]] = []
-        add_bucket = self.adds.get(module, [])
-        for position in self._add_positions.pop((module, src), []):
-            adds.append(add_bucket[position])
-            add_bucket[position] = None
-        subs: List[Tuple[int, int]] = []
-        sub_bucket = self.subs.get(module, [])
-        for position in self._sub_positions.pop((module, src), []):
-            subs.append(sub_bucket[position])
-            sub_bucket[position] = None
-        return adds, subs
+    def requeue_source(self, src: int, module: int) -> List[PendingEntry]:
+        """Remove and return ``src``'s pending entries on ``module``,
+        sorted into original batch order."""
+        requeued: List[PendingEntry] = []
+        bucket = self.ops.get(module, [])
+        for position in self._positions.pop((module, src), []):
+            requeued.append(bucket[position])
+            bucket[position] = None
+        requeued.sort(key=lambda entry: entry[0])
+        return requeued
 
     def finalize(
         self,
-    ) -> Tuple[
-        Dict[int, List[Tuple[int, int, int]]], Dict[int, List[Tuple[int, int]]]
-    ]:
-        """Tombstone-free operator payloads, per module.
+    ) -> Dict[int, Tuple[List[PendingEntry], bool, bool]]:
+        """Tombstone-free per-module payloads in batch order.
 
-        Modules whose payload was entirely requeued keep an (empty)
-        operator — the scalar path always did, and the empty kernel
-        launch is part of the charged work.
+        Returns ``module -> (entries, has_add_operator, has_sub_operator)``
+        where the operator flags record which operator kinds were queued
+        (even when every entry was requeued away — the empty kernel
+        launch is part of the charged work, as the scalar path always
+        dispatched it).
         """
-        module_adds = {
-            module: [entry for entry in bucket if entry is not None]
-            for module, bucket in self.adds.items()
-        }
-        module_subs = {
-            module: [entry for entry in bucket if entry is not None]
-            for module, bucket in self.subs.items()
-        }
-        return module_adds, module_subs
+        finalized: Dict[int, Tuple[List[PendingEntry], bool, bool]] = {}
+        for module, bucket in self.ops.items():
+            entries = [entry for entry in bucket if entry is not None]
+            entries.sort(key=lambda entry: entry[0])
+            operators = self._operators.get(module, set())
+            finalized[module] = (
+                entries,
+                UpdateKind.INSERT in operators,
+                UpdateKind.DELETE in operators,
+            )
+        return finalized
 
 
 def _run_bounds(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -220,7 +247,8 @@ class UpdateProcessor:
         return self._engine_name
 
     def use_engine(self, name: str) -> None:
-        """Swap the update-partitioning backend (``"python"``/``"vectorized"``)."""
+        """Swap the update-partitioning backend (any ``ENGINE_NAMES`` entry;
+        ``"matrix"`` shares the vectorized partitioning path)."""
         if name not in ENGINE_NAMES:
             raise ValueError(
                 f"unknown execution engine {name!r}; expected one of {ENGINE_NAMES}"
@@ -240,7 +268,9 @@ class UpdateProcessor:
         hetero_ops: List[Tuple[UpdateOp, int]] = []
 
         with operation.phase("partition"):
-            if self._engine_name == "vectorized" and ops:
+            # The matrix engine shares the vectorized batch-partitioning
+            # path: only query execution differs between those backends.
+            if self._engine_name != "python" and ops:
                 self._partition_batch_vectorized(
                     operation, ops, labels, pending, hetero_ops
                 )
@@ -248,11 +278,12 @@ class UpdateProcessor:
                 self._partition_batch_scalar(
                     operation, ops, labels, pending, hetero_ops
                 )
-        module_adds, module_subs = pending.finalize()
+        module_ops = pending.finalize()
 
         with operation.phase("dispatch"):
-            dispatched_items = sum(len(edges) for edges in module_adds.values())
-            dispatched_items += sum(len(edges) for edges in module_subs.values())
+            dispatched_items = sum(
+                len(entries) for entries, _, _ in module_ops.values()
+            )
             if dispatched_items:
                 # All per-module add/sub operators ship in one rank-level
                 # batched scatter.
@@ -262,7 +293,7 @@ class UpdateProcessor:
                 )
 
         with operation.phase("apply"):
-            self._apply_module_updates(operation, module_adds, module_subs)
+            self._apply_module_updates(operation, module_ops)
             self._apply_hetero_updates(operation, hetero_ops)
 
         stats = operation.finish()
@@ -285,7 +316,7 @@ class UpdateProcessor:
         for index, update in enumerate(ops):
             label = labels[index] if labels else DEFAULT_LABEL
             operation.host.process_items(1)
-            self._route_update(update, label, operation, pending, hetero_ops)
+            self._route_update(update, index, label, operation, pending, hetero_ops)
 
     # ------------------------------------------------------------------
     # Partition phase — vectorized batch path
@@ -400,6 +431,7 @@ class UpdateProcessor:
                 owner,
                 list(
                     zip(
+                        chunk.tolist(),
                         srcs[chunk].tolist(),
                         dsts[chunk].tolist(),
                         op_labels[chunk].tolist(),
@@ -408,7 +440,8 @@ class UpdateProcessor:
             )
         for owner, chunk in _grouped_by_owner(simple_deletes & on_module, src_owners):
             pending.extend_subs(
-                owner, list(zip(srcs[chunk].tolist(), dsts[chunk].tolist()))
+                owner,
+                list(zip(chunk.tolist(), srcs[chunk].tolist(), dsts[chunk].tolist())),
             )
 
         # --- simple host-resident updates (the hetero protocol) ----------
@@ -419,7 +452,7 @@ class UpdateProcessor:
         # --- stateful remainder: replay scalar logic in batch order ------
         for index in np.flatnonzero(is_complex).tolist():
             self._route_update(
-                ops[index], int(op_labels[index]), operation, pending, hetero_ops
+                ops[index], index, int(op_labels[index]), operation, pending, hetero_ops
             )
 
     # ------------------------------------------------------------------
@@ -428,6 +461,7 @@ class UpdateProcessor:
     def _route_update(
         self,
         update: UpdateOp,
+        seq: int,
         label: int,
         operation: OperationContext,
         pending: _PendingBatch,
@@ -447,9 +481,9 @@ class UpdateProcessor:
         if owner == HOST_PARTITION:
             hetero_ops.append((update, label))
         elif update.kind is UpdateKind.INSERT:
-            pending.queue_add(owner, update.src, update.dst, label)
+            pending.queue_add(owner, seq, update.src, update.dst, label)
         else:
-            pending.queue_sub(owner, update.src, update.dst)
+            pending.queue_sub(owner, seq, update.src, update.dst)
 
     def _place_for_update(
         self, update: UpdateOp, operation: OperationContext
@@ -494,16 +528,12 @@ class UpdateProcessor:
         pending: _PendingBatch,
         hetero_ops: List[Tuple[UpdateOp, int]],
     ) -> None:
-        """Move queued updates of a just-promoted source to the hetero path."""
-        requeued_adds, requeued_subs = pending.requeue_source(src, promoted_from)
-        for edge_src, edge_dst, edge_label in requeued_adds:
-            hetero_ops.append(
-                (UpdateOp(UpdateKind.INSERT, edge_src, edge_dst), edge_label)
-            )
-        for edge_src, edge_dst in requeued_subs:
-            hetero_ops.append(
-                (UpdateOp(UpdateKind.DELETE, edge_src, edge_dst), DEFAULT_LABEL)
-            )
+        """Move queued updates of a just-promoted source to the hetero
+        path, preserving their original batch order."""
+        for _, kind, edge_src, edge_dst, edge_label in pending.requeue_source(
+            src, promoted_from
+        ):
+            hetero_ops.append((UpdateOp(kind, edge_src, edge_dst), edge_label))
 
     # ------------------------------------------------------------------
     # Application
@@ -511,27 +541,33 @@ class UpdateProcessor:
     def _apply_module_updates(
         self,
         operation: OperationContext,
-        module_adds: Dict[int, List[Tuple[int, int, int]]],
-        module_subs: Dict[int, List[Tuple[int, int]]],
+        module_ops: Dict[int, Tuple[List[PendingEntry], bool, bool]],
     ) -> None:
-        for module_id, add_edges in module_adds.items():
+        """Apply each module's slice of the batch in true batch order.
+
+        The ``add`` and ``sub`` operators still dispatch (and charge one
+        kernel launch each) per module, but their entries are applied
+        interleaved by batch position: applying all adds before all subs
+        would resolve a delete→insert of the same edge within one batch
+        to *absent* instead of the sequential result.
+        """
+        for module_id, (entries, has_add_op, has_sub_op) in module_ops.items():
             module = operation.module(module_id)
-            module.launch_kernel()
-            work = self._processors[module_id].process_add(add_edges)
+            if has_add_op:
+                module.launch_kernel()
+            if has_sub_op:
+                module.launch_kernel()
+            work = self._processors[module_id].process_update_ops(
+                [(kind, src, dst, label) for _, kind, src, dst, label in entries]
+            )
             module.random_accesses(work.map_lookups)
             module.stream_bytes(work.bytes_streamed)
             module.process_items(work.items_processed)
-            for src, dst, label in add_edges:
-                self._mirror.add_edge(src, dst, label)
-        for module_id, sub_edges in module_subs.items():
-            module = operation.module(module_id)
-            module.launch_kernel()
-            work = self._processors[module_id].process_sub(sub_edges)
-            module.random_accesses(work.map_lookups)
-            module.stream_bytes(work.bytes_streamed)
-            module.process_items(work.items_processed)
-            for src, dst in sub_edges:
-                self._mirror.remove_edge(src, dst)
+            for _, kind, src, dst, label in entries:
+                if kind is UpdateKind.INSERT:
+                    self._mirror.add_edge(src, dst, label)
+                else:
+                    self._mirror.remove_edge(src, dst)
 
     def _apply_hetero_updates(
         self,

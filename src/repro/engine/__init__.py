@@ -10,7 +10,10 @@ This package separates *what* a query does from *how* it runs:
 * :mod:`repro.engine.python_engine` — the scalar reference backend
   (exact original semantics);
 * :mod:`repro.engine.vectorized` — the numpy backend expanding columnar
-  frontiers against CSR storage snapshots.
+  frontiers against CSR storage snapshots (push-style gathers);
+* :mod:`repro.engine.matrix_engine` — the semiring-matrix backend
+  executing plans as masked boolean SpGEMM over pre-transposed CSR
+  blocks, with a dense-vs-sparse crossover back to the push path.
 
 Backends are interchangeable by contract: identical results *and*
 identical simulated work counters, so ``MoctopusConfig.engine`` can flip
@@ -35,6 +38,7 @@ from repro.engine.physical import (
     lower_plan,
     run_plan,
 )
+from repro.engine.matrix_engine import MatrixEngine
 from repro.engine.python_engine import PythonEngine
 from repro.engine.vectorized import VectorizedEngine
 
@@ -53,6 +57,7 @@ __all__ = [
     "ReduceOp",
     "lower_plan",
     "run_plan",
+    "MatrixEngine",
     "PythonEngine",
     "VectorizedEngine",
 ]

@@ -55,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover — type-only imports, see note below.
 Frontier = Dict[int, Dict[int, ContextSet]]
 
 #: Names accepted by :func:`create_engine` / ``MoctopusConfig.engine``.
-ENGINE_NAMES = ("python", "vectorized")
+ENGINE_NAMES = ("python", "vectorized", "matrix")
 
 
 @runtime_checkable
@@ -153,6 +153,10 @@ def create_engine(name: str, runtime: EngineRuntime) -> ExecutionEngine:
         from repro.engine.vectorized import VectorizedEngine
 
         return VectorizedEngine(runtime)
+    if name == "matrix":
+        from repro.engine.matrix_engine import MatrixEngine
+
+        return MatrixEngine(runtime)
     raise ValueError(
         f"unknown execution engine {name!r}; expected one of {ENGINE_NAMES}"
     )

@@ -76,6 +76,22 @@ class PhysicalPlan:
     #: Automaton carried by the frontier contexts (``None`` = bare rows).
     dfa: Optional[DFA] = None
 
+    def max_expansion_phases(self) -> int:
+        """Upper bound on the expand/route phases this plan can run.
+
+        Plain :class:`ExpandOp`s count one each; a :class:`FixpointOp`
+        counts its iteration bound.  Cost-aware backends (the matrix
+        engine's dense-vs-sparse crossover) use this to tell a one-shot
+        1-hop plan from a deep traversal whose frontiers will saturate.
+        """
+        total = 0
+        for op in self.ops:
+            if isinstance(op, ExpandOp):
+                total += 1
+            elif isinstance(op, FixpointOp):
+                total += op.max_iterations
+        return total
+
     def explain(self) -> str:
         """Human-readable operator listing (one line per op)."""
         lines = []

@@ -170,6 +170,12 @@ class _DfaStepper:
             self._columns[label] = column
         return column
 
+    #: Public accessor: dense transition column of one integer edge label
+    #: (``column[state] = next state``, ``-1`` = reject).  The matrix
+    #: engine pulls one adjacency block per (label, live state) pair and
+    #: needs the same lazily-built columns the push path steps with.
+    column = _column
+
     def step(self, states: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Next state per ``(state, label)`` pair (``-1`` = reject)."""
         unique_labels = _unique(labels)
@@ -410,10 +416,26 @@ class VectorizedEngine:
         num_edges = int(degrees.sum())
         if num_edges == 0:
             return None
+        return self._bitset_produce(snapshot, masks, row_idx, degrees, num_edges)
 
-        # Gather the adjacency rows of every frontier node in one shot,
-        # then OR-reduce the source masks per destination.
-        node_rep = np.repeat(np.arange(len(nodes)), degrees)
+    def _bitset_produce(
+        self,
+        snapshot,
+        masks: np.ndarray,
+        row_idx: np.ndarray,
+        degrees: np.ndarray,
+        num_edges: int,
+    ) -> MaskBlock:
+        """Compute one partition's produced ``(dsts, masks)`` block.
+
+        The production kernel behind :meth:`_bitset_expand`, separated
+        from the (shared) work accounting so subclasses can swap the
+        frontier math without touching what the simulation measures.
+        This implementation is the push-style gather: collect the
+        adjacency rows of every frontier node, sort the edges by
+        destination, and OR-reduce the source masks per destination.
+        """
+        node_rep = np.repeat(np.arange(len(row_idx)), degrees)
         starts = snapshot.indptr[np.maximum(row_idx, 0)]
         cumulative = np.cumsum(degrees)
         offsets = np.arange(num_edges) - np.repeat(cumulative - degrees, degrees)
@@ -742,13 +764,35 @@ class VectorizedEngine:
 
         if items_processed == 0:
             return _EMPTY
+        return self._keys_produce(
+            snapshot, rows, states, counts, row_idx, item_degrees,
+            items_processed, stepper,
+        )
 
-        # Gather every (item, out-edge) pair of the phase in one shot.
+    def _keys_produce(
+        self,
+        snapshot,
+        rows: np.ndarray,
+        states: np.ndarray,
+        counts: np.ndarray,
+        row_idx: np.ndarray,
+        item_degrees: np.ndarray,
+        items_processed: int,
+        stepper: _DfaStepper,
+    ) -> np.ndarray:
+        """Compute one partition's produced context keys (with duplicates).
+
+        The production kernel behind :meth:`_expand_partition`, separated
+        from the (shared) work accounting so subclasses can swap the
+        frontier math without touching what the simulation measures.
+        This implementation is the push-style gather: enumerate every
+        (item, out-edge) pair and step the automaton per pair.
+        """
         item_starts = np.repeat(
             snapshot.indptr[np.maximum(row_idx, 0)], counts
         )
         cumulative = np.cumsum(item_degrees)
-        item_rep = np.repeat(np.arange(len(nodes)), item_degrees)
+        item_rep = np.repeat(np.arange(len(rows)), item_degrees)
         offsets = np.arange(items_processed) - np.repeat(
             cumulative - item_degrees, item_degrees
         )

@@ -24,8 +24,55 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.graph.digraph import DiGraph
 from repro.graph.semiring import BOOLEAN, COUNTING, Semiring
+
+#: Stored-entry count below which ``mxm`` stays on the scalar path — the
+#: numpy fast path's array setup costs more than it saves on tiny
+#: frontiers.  Both paths are result-identical, so the crossover is a
+#: pure performance knob.
+_NUMPY_MXM_THRESHOLD = 64
+
+#: Magnitude bound under which an integer semiring product provably fits
+#: in int64 (the fast path falls back to exact python integers past it).
+_INT64_SAFE_BOUND = 2 ** 62
+
+#: Largest integer float64 represents exactly; integer inputs that get
+#: promoted to float past this would silently lose precision.
+_FLOAT64_EXACT_INT = 2 ** 53
+
+
+def _csr_of_sets(rows: Dict[int, Set[int]]):
+    """``(row_ids, indptr, cols)`` CSR arrays of a dict-of-sets matrix.
+
+    ``row_ids`` is sorted so membership lookups can use searchsorted.
+    """
+    row_ids = np.asarray(sorted(rows), dtype=np.int64)
+    chunks = [
+        np.fromiter(rows[int(row)], dtype=np.int64, count=len(rows[int(row)]))
+        for row in row_ids
+    ]
+    sizes = np.asarray([len(chunk) for chunk in chunks], dtype=np.int64)
+    indptr = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(sizes)))
+    cols = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    )
+    return row_ids, indptr, cols
+
+
+def _gather_segments(indptr: np.ndarray, idx: np.ndarray):
+    """Indices selecting, for each ``idx[i]``, that CSR row's full segment.
+
+    Returns ``(flat_indices, counts)`` where ``flat_indices`` concatenates
+    ``range(indptr[j], indptr[j + 1])`` for every ``j`` in ``idx``.
+    """
+    counts = indptr[idx + 1] - indptr[idx]
+    total = int(counts.sum())
+    prefix = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(prefix, counts)
+    return np.repeat(indptr[idx], counts) + offsets, counts
 
 
 class BooleanMatrix:
@@ -146,6 +193,8 @@ class BooleanMatrix:
     # ------------------------------------------------------------------
     def mxm(self, other: "BooleanMatrix") -> "BooleanMatrix":
         """Boolean sparse matrix product ``self x other`` (row-gather)."""
+        if self.nnz >= _NUMPY_MXM_THRESHOLD and other._rows:
+            return self._mxm_numpy(other)
         product = BooleanMatrix(num_rows=self.num_rows, num_cols=other.num_cols)
         for row, cols in self._rows.items():
             accumulator: Set[int] = set()
@@ -155,6 +204,31 @@ class BooleanMatrix:
                     accumulator |= other_row
             if accumulator:
                 product._rows[row] = accumulator
+        return product
+
+    def _mxm_numpy(self, other: "BooleanMatrix") -> "BooleanMatrix":
+        """Vectorized product: expand every (entry, matching row) pair at
+        once, then deduplicate — same sets as the scalar row-gather."""
+        product = BooleanMatrix(num_rows=self.num_rows, num_cols=other.num_cols)
+        a_rows, a_indptr, a_cols = _csr_of_sets(self._rows)
+        b_rows, b_indptr, b_cols = _csr_of_sets(other._rows)
+        left_rows = np.repeat(a_rows, np.diff(a_indptr))
+        idx = np.searchsorted(b_rows, a_cols)
+        idx_clipped = np.minimum(idx, len(b_rows) - 1)
+        valid = b_rows[idx_clipped] == a_cols
+        if not valid.any():
+            return product
+        gather, counts = _gather_segments(b_indptr, idx_clipped[valid])
+        out_rows = np.repeat(left_rows[valid], counts)
+        out_cols = b_cols[gather]
+        pairs = np.unique(np.stack((out_rows, out_cols), axis=1), axis=0)
+        rows, cols = pairs[:, 0], pairs[:, 1]
+        boundaries = np.flatnonzero(np.diff(rows)) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        for row, chunk in zip(
+            rows[starts].tolist(), np.split(cols, boundaries)
+        ):
+            product._rows[row] = set(chunk.tolist())
         return product
 
     def element_wise_or(self, other: "BooleanMatrix") -> "BooleanMatrix":
@@ -203,8 +277,11 @@ class BooleanMatrix:
             return NotImplemented
         return self.equals(other)
 
-    def __hash__(self) -> None:  # type: ignore[override]
-        raise TypeError("BooleanMatrix is mutable and unhashable")
+    # Mutable container: setting ``__hash__`` to None (rather than a
+    # raising method) is what makes ``isinstance(m, Hashable)`` False and
+    # keeps set/dict membership failing with the standard unhashable-type
+    # TypeError.
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -297,6 +374,15 @@ class SemiringMatrix:
                 f"{self.semiring.name} vs {other.semiring.name}"
             )
         semiring = self.semiring
+        if (
+            semiring.np_add is not None
+            and semiring.np_multiply is not None
+            and other._values
+            and self.nnz >= _NUMPY_MXM_THRESHOLD
+        ):
+            fast = self._mxm_numpy(other)
+            if fast is not None:
+                return fast
         product = SemiringMatrix(
             num_rows=self.num_rows, num_cols=other.num_cols, semiring=semiring
         )
@@ -318,6 +404,115 @@ class SemiringMatrix:
                 if not semiring.is_zero(value):
                     product._values.setdefault(row, {})[col] = value
         return product
+
+    def _mxm_numpy(self, other: "SemiringMatrix") -> Optional["SemiringMatrix"]:
+        """Ufunc product over the semiring's numpy mirrors.
+
+        Returns ``None`` whenever exactness over python scalars cannot be
+        guaranteed — object dtypes, integer magnitudes that could
+        overflow int64, or integers a float promotion would round — and
+        the caller then runs the scalar path, which is always exact.
+        """
+        semiring = self.semiring
+        a_entries = [
+            (row, mid, value)
+            for row, row_values in self._values.items()
+            for mid, value in row_values.items()
+        ]
+        b_row_ids = np.asarray(sorted(other._values), dtype=np.int64)
+        b_sizes = np.asarray(
+            [len(other._values[int(row)]) for row in b_row_ids], dtype=np.int64
+        )
+        b_indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(b_sizes))
+        )
+        b_cols = np.asarray(
+            [
+                col
+                for row in b_row_ids
+                for col in other._values[int(row)]
+            ],
+            dtype=np.int64,
+        )
+        left_values = np.asarray([entry[2] for entry in a_entries])
+        right_values = np.asarray(
+            [
+                value
+                for row in b_row_ids
+                for value in other._values[int(row)].values()
+            ]
+        )
+        if left_values.dtype.kind not in "biuf":
+            return None
+        if right_values.dtype.kind not in "biuf":
+            return None
+        if not self._exact_over(left_values, right_values, a_entries, other):
+            return None
+
+        left_rows = np.asarray([entry[0] for entry in a_entries], dtype=np.int64)
+        left_mids = np.asarray([entry[1] for entry in a_entries], dtype=np.int64)
+        idx = np.searchsorted(b_row_ids, left_mids)
+        idx_clipped = np.minimum(idx, len(b_row_ids) - 1)
+        valid = b_row_ids[idx_clipped] == left_mids
+        product = SemiringMatrix(
+            num_rows=self.num_rows, num_cols=other.num_cols, semiring=semiring
+        )
+        if not valid.any():
+            return product
+        gather, counts = _gather_segments(b_indptr, idx_clipped[valid])
+        contributions = semiring.np_multiply(
+            np.repeat(left_values[valid], counts), right_values[gather]
+        )
+        out_rows = np.repeat(left_rows[valid], counts)
+        out_cols = b_cols[gather]
+        # Group by (row, col) and fold each group with the add ufunc.
+        order = np.lexsort((out_cols, out_rows))
+        out_rows, out_cols = out_rows[order], out_cols[order]
+        contributions = contributions[order]
+        new_group = (np.diff(out_rows) != 0) | (np.diff(out_cols) != 0)
+        starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.flatnonzero(new_group) + 1)
+        )
+        reduced = semiring.np_add.reduceat(contributions, starts)
+        keep = reduced != semiring.zero
+        for row, col, value in zip(
+            out_rows[starts][keep].tolist(),
+            out_cols[starts][keep].tolist(),
+            reduced[keep].tolist(),
+        ):
+            product._values.setdefault(row, {})[col] = value
+        return product
+
+    def _exact_over(self, left_values, right_values, a_entries, other) -> bool:
+        """Whether int64/float64 arithmetic reproduces python scalars."""
+        kinds = {left_values.dtype.kind, right_values.dtype.kind}
+        if kinds <= {"b"}:
+            return True
+        if "f" in kinds:
+            # A float promotion rounds integers past 2**53; scan the
+            # original python values for any such integer.
+            for _, _, value in a_entries:
+                if isinstance(value, int) and abs(value) > _FLOAT64_EXACT_INT:
+                    return False
+            for row_values in other._values.values():
+                for value in row_values.values():
+                    if isinstance(value, int) and abs(value) > _FLOAT64_EXACT_INT:
+                        return False
+            return True
+        # Pure integers: bound the largest value any contribution or fold
+        # could reach (python ints in the check, so the check can't
+        # overflow).  ``total`` over-approximates the fold length.
+        max_left = int(np.abs(left_values).max()) if len(left_values) else 0
+        max_right = int(np.abs(right_values).max()) if len(right_values) else 0
+        if self.semiring.np_multiply is np.multiply:
+            bound = max_left * max_right
+        else:
+            bound = max_left + max_right
+        if self.semiring.np_add is np.add:
+            # One output cell folds at most one contribution per stored
+            # entry of ``self`` (a gross but cheap over-approximation).
+            bound *= max(1, len(left_values))
+        return bound <= _INT64_SAFE_BOUND
 
     def to_boolean(self) -> BooleanMatrix:
         """Structural (non-zero pattern) projection to a boolean matrix."""

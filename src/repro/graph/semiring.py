@@ -23,7 +23,9 @@ Only a handful of semirings matter for path matching:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -42,6 +44,14 @@ class Semiring:
         Identity of ``add``; entries equal to ``zero`` are never stored.
     one:
         Identity of ``multiply``; used when expanding an unweighted edge.
+    np_add / np_multiply:
+        numpy ufunc mirrors of ``add`` / ``multiply``, enabling the
+        vectorized ``mxm`` fast path of
+        :class:`~repro.graph.matrix.SemiringMatrix`.  ``None`` (e.g. for
+        a user-defined semiring over exotic values) keeps every product
+        on the scalar path; when set, the ufuncs must agree with the
+        scalar operators on every representable value, because the fast
+        path is required to be result-identical.
     """
 
     name: str
@@ -49,6 +59,8 @@ class Semiring:
     multiply: Callable[[Any, Any], Any]
     zero: Any
     one: Any
+    np_add: Optional[np.ufunc] = None
+    np_multiply: Optional[np.ufunc] = None
 
     def is_zero(self, value: Any) -> bool:
         """Return whether ``value`` is the additive identity."""
@@ -70,6 +82,8 @@ BOOLEAN = Semiring(
     multiply=_logical_and,
     zero=False,
     one=True,
+    np_add=np.logical_or,
+    np_multiply=np.logical_and,
 )
 
 #: Path-counting semiring: entries count the number of matched paths.
@@ -79,6 +93,8 @@ COUNTING = Semiring(
     multiply=lambda left, right: left * right,
     zero=0,
     one=1,
+    np_add=np.add,
+    np_multiply=np.multiply,
 )
 
 #: Shortest-path semiring: entries are path lengths, min accumulates.
@@ -88,6 +104,8 @@ MIN_PLUS = Semiring(
     multiply=lambda left, right: left + right,
     zero=float("inf"),
     one=0,
+    np_add=np.minimum,
+    np_multiply=np.add,
 )
 
 #: Registry used by plan serialisation and the CLI-style benchmark output.

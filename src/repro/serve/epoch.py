@@ -55,6 +55,7 @@ class Epoch:
         "num_nodes",
         "num_edges",
         "num_modules",
+        "_degree_histogram",
     )
 
     def __init__(
@@ -71,6 +72,28 @@ class Epoch:
         self.num_nodes = num_nodes
         self.num_edges = num_edges
         self.num_modules = len(snapshots) - 1
+        self._degree_histogram: Optional[np.ndarray] = None
+
+    def degree_histogram(self) -> np.ndarray:
+        """Out-degree histogram across every pinned snapshot (cached).
+
+        ``histogram[d]`` counts adjacency rows of out-degree ``d`` over
+        all modules plus the host capture.  Each per-snapshot histogram
+        is itself cached on its (immutable) :class:`GraphSnapshot`, so
+        an epoch only pays the padded sum once — the substrate for the
+        matrix engine's dense-vs-sparse frontier crossover and the
+        roadmap's cost-based planner.
+        """
+        histogram = self._degree_histogram
+        if histogram is None:
+            parts = [snapshot.degree_histogram() for snapshot in self.snapshots]
+            width = max(len(part) for part in parts)
+            histogram = np.zeros(width, dtype=np.int64)
+            for part in parts:
+                histogram[: len(part)] += part
+            histogram.flags.writeable = False
+            self._degree_histogram = histogram
+        return histogram
 
     def snapshot_of(self, partition: int) -> GraphSnapshot:
         """Pinned snapshot of ``partition`` (``HOST_PARTITION`` = host)."""

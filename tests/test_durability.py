@@ -59,7 +59,7 @@ from faultinject import (
 )
 from model import ReferenceModel
 
-ENGINES = ("python", "vectorized")
+ENGINES = ("python", "vectorized", "matrix")
 
 
 def _config(tmp_path=None, engine="python", **overrides):

@@ -1,12 +1,13 @@
-"""Differential tests: PythonEngine ≡ VectorizedEngine.
+"""Differential tests: PythonEngine ≡ VectorizedEngine ≡ MatrixEngine.
 
 The execution backends are interchangeable by contract — identical
 :class:`~repro.rpq.query.BatchResult`s *and* identical simulated
 statistics (time components, channel counters, per-phase PIM times,
-free-form counters) on the same system state.  These tests drive both
-backends through the same randomized workloads, including interleaved
-insert/delete batches that exercise the CSR snapshot invalidation and
-migration passes that exercise deterministic misplacement handling.
+free-form counters) on the same system state.  These tests drive all
+three backends through the same randomized workloads, including
+interleaved insert/delete batches that exercise the CSR snapshot
+invalidation and migration passes that exercise deterministic
+misplacement handling.
 """
 
 from __future__ import annotations
@@ -21,10 +22,19 @@ from repro.core import Moctopus, MoctopusConfig
 from repro.core.hetero_storage import BYTES_PER_SLOT
 from repro.core.local_storage import BYTES_PER_ENTRY
 from repro.core.snapshot import build_snapshot_reference
-from repro.engine import PythonEngine, VectorizedEngine, create_engine
+from repro.engine import (
+    ENGINE_NAMES,
+    MatrixEngine,
+    PythonEngine,
+    VectorizedEngine,
+    create_engine,
+)
 from repro.graph import DiGraph, random_graph
 from repro.pim import CostModel
 from repro.rpq import KHopQuery, RPQuery, random_source_batch
+
+#: Every backend, scalar reference first (the others are compared to it).
+ENGINES = ENGINE_NAMES
 
 
 def assert_snapshots_match_rebuild(system, context=""):
@@ -69,24 +79,42 @@ def stats_fingerprint(stats):
     )
 
 
-def build_pair(graph, **config_kwargs):
+def build_systems(graph, **config_kwargs):
     """The same graph loaded into one system per backend."""
     systems = {}
-    for engine in ("python", "vectorized"):
+    for engine in ENGINES:
         config = MoctopusConfig(
             cost_model=CostModel(num_modules=8), engine=engine, **config_kwargs
         )
         systems[engine] = Moctopus.from_graph(graph, config)
-    return systems["python"], systems["vectorized"]
+    return systems
 
 
-def assert_equivalent(outcome_python, outcome_vectorized, context=""):
-    result_python, stats_python = outcome_python
-    result_vectorized, stats_vectorized = outcome_vectorized
-    assert result_python == result_vectorized, f"result mismatch {context}"
-    assert stats_fingerprint(stats_python) == stats_fingerprint(
-        stats_vectorized
-    ), f"stats mismatch {context}"
+def assert_equivalent(outcomes, context=""):
+    """``outcomes`` maps engine name -> ``(result, stats)``; all must agree."""
+    reference_result, reference_stats = outcomes["python"]
+    reference_print = stats_fingerprint(reference_stats)
+    for engine, (result, stats) in outcomes.items():
+        assert result == reference_result, f"{engine} result mismatch {context}"
+        assert stats_fingerprint(stats) == reference_print, (
+            f"{engine} stats mismatch {context}"
+        )
+
+
+def assert_update_stats_agree(per_engine_stats, context=""):
+    reference = stats_fingerprint(per_engine_stats["python"])
+    for engine, stats in per_engine_stats.items():
+        assert stats_fingerprint(stats) == reference, (
+            f"{engine} update stats mismatch {context}"
+        )
+
+
+def assert_placements_agree(systems, context=""):
+    reference = dict(systems["python"]._partitioner.partition_map.items())
+    for engine, system in systems.items():
+        assert dict(system._partitioner.partition_map.items()) == reference, (
+            f"{engine} placement diverged {context}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -100,14 +128,18 @@ def test_config_selects_engine():
     assert system.engine_name == "python"
     system.use_engine("vectorized")
     assert system.engine_name == "vectorized"
-    vectorized = Moctopus.from_graph(
-        graph,
-        MoctopusConfig(cost_model=CostModel(num_modules=4), engine="vectorized"),
-    )
-    assert vectorized.engine_name == "vectorized"
-    assert isinstance(
-        vectorized._query_processor.engine, VectorizedEngine
-    )
+    system.use_engine("matrix")
+    assert system.engine_name == "matrix"
+    for engine, engine_type in (
+        ("vectorized", VectorizedEngine),
+        ("matrix", MatrixEngine),
+    ):
+        built = Moctopus.from_graph(
+            graph,
+            MoctopusConfig(cost_model=CostModel(num_modules=4), engine=engine),
+        )
+        assert built.engine_name == engine
+        assert type(built._query_processor.engine) is engine_type
 
 
 def test_config_rejects_unknown_engine():
@@ -128,7 +160,8 @@ def test_create_engine_factory():
     )
     runtime = system._query_processor._runtime
     assert isinstance(create_engine("python", runtime), PythonEngine)
-    assert isinstance(create_engine("vectorized", runtime), VectorizedEngine)
+    assert type(create_engine("vectorized", runtime)) is VectorizedEngine
+    assert type(create_engine("matrix", runtime)) is MatrixEngine
     with pytest.raises(ValueError):
         create_engine("gpu", runtime)
 
@@ -144,11 +177,13 @@ def test_create_engine_factory():
 )
 def test_khop_parity_on_random_graphs(seed, hops, batch):
     graph = random_graph(60, 240, seed=seed)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     sources = random_source_batch(list(graph.nodes()), batch, seed=seed)
     assert_equivalent(
-        python_system.batch_khop(sources, hops),
-        vectorized_system.batch_khop(sources, hops),
+        {
+            engine: system.batch_khop(sources, hops)
+            for engine, system in systems.items()
+        },
         context=f"khop seed={seed} hops={hops}",
     )
 
@@ -160,12 +195,11 @@ def test_khop_parity_on_random_graphs(seed, hops, batch):
 )
 def test_rpq_parity_on_random_graphs(seed, expression):
     graph = random_graph(40, 150, seed=seed)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     sources = random_source_batch(list(graph.nodes()), 6, seed=seed)
     query = RPQuery(expression, sources)
     assert_equivalent(
-        python_system.execute(query),
-        vectorized_system.execute(query),
+        {engine: system.execute(query) for engine, system in systems.items()},
         context=f"rpq seed={seed} expr={expression}",
     )
 
@@ -179,15 +213,14 @@ def test_labeled_rpq_parity(seed):
         graph.add_edge(rng.randrange(30), rng.randrange(30), label=rng.randrange(1, 4))
     labels = {1: "a", 2: "b", 3: "c"}
     systems = {}
-    for engine in ("python", "vectorized"):
+    for engine in ENGINES:
         config = MoctopusConfig(cost_model=CostModel(num_modules=8), engine=engine)
         systems[engine] = Moctopus.from_graph(graph, config, label_names=labels)
     sources = random_source_batch(list(graph.nodes()), 5, seed=seed)
     for expression in ("a/b", "(a|b)/c", "a+", "a/b*"):
         query = RPQuery(expression, sources)
         assert_equivalent(
-            systems["python"].execute(query),
-            systems["vectorized"].execute(query),
+            {engine: system.execute(query) for engine, system in systems.items()},
             context=f"labeled seed={seed} expr={expression}",
         )
 
@@ -198,50 +231,58 @@ def test_parity_with_interleaved_updates(seed):
     """Queries ≡ across engines while inserts/deletes churn the storages.
 
     This is the CSR-snapshot invalidation test: every update batch
-    dirties storage segments between queries, every query may trigger
-    post-query migrations that move whole rows, and both engines must
-    keep producing identical answers, statistics and placement.
+    dirties storage segments between queries (invalidating the matrix
+    engine's per-snapshot transposed blocks along with the CSR arrays),
+    every query may trigger post-query migrations that move whole rows,
+    and every engine must keep producing identical answers, statistics
+    and placement.
     """
     rng = random.Random(seed)
     graph = random_graph(50, 180, seed=seed)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     for step in range(8):
         kind = rng.choice(["khop", "rpq", "insert", "delete"])
         if kind == "khop":
             sources = random_source_batch(list(range(60)), 6, seed=seed + step)
             hops = rng.randint(1, 3)
             assert_equivalent(
-                python_system.batch_khop(sources, hops),
-                vectorized_system.batch_khop(sources, hops),
+                {
+                    engine: system.batch_khop(sources, hops)
+                    for engine, system in systems.items()
+                },
                 context=f"seed={seed} step={step} khop",
             )
         elif kind == "rpq":
             sources = random_source_batch(list(range(50)), 4, seed=seed + step)
             query = RPQuery(".+", sources)
             assert_equivalent(
-                python_system.execute(query),
-                vectorized_system.execute(query),
+                {
+                    engine: system.execute(query)
+                    for engine, system in systems.items()
+                },
                 context=f"seed={seed} step={step} rpq",
             )
         elif kind == "insert":
             edges = [(rng.randrange(70), rng.randrange(70)) for _ in range(8)]
-            stats_python = python_system.insert_edges(list(edges))
-            stats_vectorized = vectorized_system.insert_edges(list(edges))
-            assert stats_fingerprint(stats_python) == stats_fingerprint(
-                stats_vectorized
+            assert_update_stats_agree(
+                {
+                    engine: system.insert_edges(list(edges))
+                    for engine, system in systems.items()
+                },
+                context=f"seed={seed} step={step} insert",
             )
         else:
-            existing = list(python_system.graph.edges())
+            existing = list(systems["python"].graph.edges())
             edges = [rng.choice(existing) for _ in range(5)] if existing else []
-            stats_python = python_system.delete_edges(list(edges))
-            stats_vectorized = vectorized_system.delete_edges(list(edges))
-            assert stats_fingerprint(stats_python) == stats_fingerprint(
-                stats_vectorized
+            assert_update_stats_agree(
+                {
+                    engine: system.delete_edges(list(edges))
+                    for engine, system in systems.items()
+                },
+                context=f"seed={seed} step={step} delete",
             )
         # Placement (including post-query migrations) must stay in step.
-        assert dict(python_system._partitioner.partition_map.items()) == dict(
-            vectorized_system._partitioner.partition_map.items()
-        ), f"placement diverged at seed={seed} step={step}"
+        assert_placements_agree(systems, context=f"seed={seed} step={step}")
 
 
 @settings(max_examples=10, deadline=None)
@@ -257,14 +298,16 @@ def test_parity_with_heavy_update_batches(seed):
     """
     rng = random.Random(seed)
     graph = random_graph(50, 180, seed=seed)
-    python_system, vectorized_system = build_pair(graph, high_degree_threshold=8)
+    systems = build_systems(graph, high_degree_threshold=8)
     for step in range(6):
         kind = rng.choice(["khop", "insert", "hub_insert", "delete"])
         if kind == "khop":
             sources = random_source_batch(list(range(60)), 8, seed=seed + step)
             assert_equivalent(
-                python_system.batch_khop(sources, 2),
-                vectorized_system.batch_khop(sources, 2),
+                {
+                    engine: system.batch_khop(sources, 2)
+                    for engine, system in systems.items()
+                },
                 context=f"seed={seed} step={step} khop",
             )
         elif kind == "insert":
@@ -273,43 +316,43 @@ def test_parity_with_heavy_update_batches(seed):
                 (rng.randrange(90), rng.randrange(90)) for _ in range(48)
             ]
             labels = [rng.randrange(1, 4) for _ in edges]
-            stats_python = python_system.insert_edges(list(edges), labels=list(labels))
-            stats_vectorized = vectorized_system.insert_edges(
-                list(edges), labels=list(labels)
+            assert_update_stats_agree(
+                {
+                    engine: system.insert_edges(list(edges), labels=list(labels))
+                    for engine, system in systems.items()
+                },
+                context=f"seed={seed} step={step} insert",
             )
-            assert stats_fingerprint(stats_python) == stats_fingerprint(
-                stats_vectorized
-            ), f"seed={seed} step={step} insert"
         elif kind == "hub_insert":
             # Concentrate inserts on a few sources so some cross the
             # high-degree threshold mid-batch (promotion + requeue).
             hubs = [rng.randrange(70) for _ in range(3)]
             edges = [(rng.choice(hubs), rng.randrange(150)) for _ in range(40)]
-            stats_python = python_system.insert_edges(list(edges))
-            stats_vectorized = vectorized_system.insert_edges(list(edges))
-            assert stats_fingerprint(stats_python) == stats_fingerprint(
-                stats_vectorized
-            ), f"seed={seed} step={step} hub_insert"
+            assert_update_stats_agree(
+                {
+                    engine: system.insert_edges(list(edges))
+                    for engine, system in systems.items()
+                },
+                context=f"seed={seed} step={step} hub_insert",
+            )
         else:
-            existing = list(python_system.graph.edges())
+            existing = list(systems["python"].graph.edges())
             edges = [rng.choice(existing) for _ in range(16)] if existing else []
-            stats_python = python_system.delete_edges(list(edges))
-            stats_vectorized = vectorized_system.delete_edges(list(edges))
-            assert stats_fingerprint(stats_python) == stats_fingerprint(
-                stats_vectorized
-            ), f"seed={seed} step={step} delete"
-        assert dict(python_system._partitioner.partition_map.items()) == dict(
-            vectorized_system._partitioner.partition_map.items()
-        ), f"placement diverged at seed={seed} step={step}"
-        assert_snapshots_match_rebuild(
-            python_system, context=f"(python seed={seed} step={step})"
-        )
-        assert_snapshots_match_rebuild(
-            vectorized_system, context=f"(vectorized seed={seed} step={step})"
-        )
-    assert sorted(python_system.graph.edges()) == sorted(
-        vectorized_system.graph.edges()
-    )
+            assert_update_stats_agree(
+                {
+                    engine: system.delete_edges(list(edges))
+                    for engine, system in systems.items()
+                },
+                context=f"seed={seed} step={step} delete",
+            )
+        assert_placements_agree(systems, context=f"seed={seed} step={step}")
+        for engine, system in systems.items():
+            assert_snapshots_match_rebuild(
+                system, context=f"({engine} seed={seed} step={step})"
+            )
+    reference_edges = sorted(systems["python"].graph.edges())
+    for engine, system in systems.items():
+        assert sorted(system.graph.edges()) == reference_edges, engine
 
 
 def test_update_engine_follows_use_engine():
@@ -321,6 +364,8 @@ def test_update_engine_follows_use_engine():
     assert system._update_processor.engine_name == "python"
     system.use_engine("vectorized")
     assert system._update_processor.engine_name == "vectorized"
+    system.use_engine("matrix")
+    assert system._update_processor.engine_name == "matrix"
     with pytest.raises(ValueError):
         system._update_processor.use_engine("fortran")
 
@@ -343,7 +388,7 @@ def test_fixpoint_bound_covers_state_revisits():
     query = RPQuery("(a/a/a/a)*", [0])
     reference = evaluate_rpq(graph, query, label_names=labels)
     assert reference.destinations_of(0) == {0, 1, 2}
-    for engine in ("python", "vectorized"):
+    for engine in ENGINES:
         config = MoctopusConfig(cost_model=CostModel(num_modules=4), engine=engine)
         system = Moctopus.from_graph(graph, config, label_names=labels)
         result, _ = system.execute(query)
@@ -352,14 +397,16 @@ def test_fixpoint_bound_covers_state_revisits():
 
 def test_parity_with_wide_batches():
     """Batches past 64 rows exercise the multi-word bit-mask path of the
-    vectorized k-hop engine (two+ uint64 words per node)."""
+    numpy k-hop engines (two+ uint64 words per node)."""
     graph = random_graph(50, 200, seed=11)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     sources = random_source_batch(list(graph.nodes()), 150, seed=11)
     for hops in (1, 3):
         assert_equivalent(
-            python_system.batch_khop(sources, hops),
-            vectorized_system.batch_khop(sources, hops),
+            {
+                engine: system.batch_khop(sources, hops)
+                for engine, system in systems.items()
+            },
             context=f"wide batch hops={hops}",
         )
 
@@ -371,11 +418,13 @@ def test_parity_with_sparse_node_ids():
     base = 10 ** 9
     for offset in range(20):
         graph.add_edge(base + offset * 7_919, base + ((offset + 1) % 20) * 7_919)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     sources = [base, base + 7_919, base + 3]  # last one is unknown
     assert_equivalent(
-        python_system.batch_khop(sources, 2),
-        vectorized_system.batch_khop(sources, 2),
+        {
+            engine: system.batch_khop(sources, 2)
+            for engine, system in systems.items()
+        },
         context="sparse ids",
     )
 
@@ -386,64 +435,73 @@ def test_pack_overflow_guard():
     graph = DiGraph()
     huge = 2 ** 61
     graph.add_edge(huge, huge + 1)
-    config = MoctopusConfig(cost_model=CostModel(num_modules=4), engine="vectorized")
-    system = Moctopus.from_graph(graph, config)
-    with pytest.raises(OverflowError):
-        system.execute(RPQuery(".{2}", [huge] * 8))
+    for engine in ("vectorized", "matrix"):
+        config = MoctopusConfig(cost_model=CostModel(num_modules=4), engine=engine)
+        system = Moctopus.from_graph(graph, config)
+        with pytest.raises(OverflowError):
+            system.execute(RPQuery(".{2}", [huge] * 8))
 
 
 def test_parity_with_unknown_sources():
     graph = random_graph(30, 90, seed=3)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     sources = [0, 424242, 5, 999999]
     assert_equivalent(
-        python_system.batch_khop(sources, 2),
-        vectorized_system.batch_khop(sources, 2),
+        {
+            engine: system.batch_khop(sources, 2)
+            for engine, system in systems.items()
+        },
         context="unknown sources",
     )
 
 
 def test_parity_with_duplicate_sources():
     graph = random_graph(30, 90, seed=4)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     sources = [1, 1, 2, 2, 1]
     assert_equivalent(
-        python_system.batch_khop(sources, 3),
-        vectorized_system.batch_khop(sources, 3),
+        {
+            engine: system.batch_khop(sources, 3)
+            for engine, system in systems.items()
+        },
         context="duplicate sources",
     )
 
 
 def test_parity_on_empty_batch():
     graph = random_graph(20, 50, seed=5)
-    python_system, vectorized_system = build_pair(graph)
+    systems = build_systems(graph)
     assert_equivalent(
-        python_system.batch_khop([], 2),
-        vectorized_system.batch_khop([], 2),
+        {
+            engine: system.batch_khop([], 2)
+            for engine, system in systems.items()
+        },
         context="empty batch",
     )
 
 
 def test_parity_without_labor_division():
     graph = random_graph(40, 200, seed=6)
-    python_system, vectorized_system = build_pair(
-        graph, high_degree_threshold=None
-    )
+    systems = build_systems(graph, high_degree_threshold=None)
     sources = random_source_batch(list(graph.nodes()), 12, seed=6)
     assert_equivalent(
-        python_system.batch_khop(sources, 3),
-        vectorized_system.batch_khop(sources, 3),
+        {
+            engine: system.batch_khop(sources, 3)
+            for engine, system in systems.items()
+        },
         context="no labor division",
     )
 
 
 def test_parity_with_migration_disabled():
     graph = random_graph(40, 200, seed=7)
-    python_system, vectorized_system = build_pair(graph, enable_migration=False)
+    systems = build_systems(graph, enable_migration=False)
     sources = random_source_batch(list(graph.nodes()), 12, seed=7)
     for hops in (1, 2, 3):
         assert_equivalent(
-            python_system.batch_khop(sources, hops),
-            vectorized_system.batch_khop(sources, hops),
+            {
+                engine: system.batch_khop(sources, hops)
+                for engine, system in systems.items()
+            },
             context=f"migration off hops={hops}",
         )

@@ -80,8 +80,17 @@ def test_equality_ignores_shape_metadata():
 
 
 def test_boolean_matrix_unhashable():
+    """``__hash__ = None`` (not a raising override): hash() raises the
+    standard unhashable-type TypeError *and* Hashable reports False —
+    a raising method kept ``isinstance(m, Hashable)`` True."""
+    from collections.abc import Hashable
+
     with pytest.raises(TypeError):
         hash(BooleanMatrix())
+    assert BooleanMatrix.__hash__ is None
+    assert not isinstance(BooleanMatrix(), Hashable)
+    with pytest.raises(TypeError):
+        {BooleanMatrix()}
 
 
 def test_to_dense_round_trip():
@@ -168,6 +177,139 @@ def test_boolean_projection_matches_pattern():
     counting.set(2, 3, 1)
     pattern = counting.to_boolean()
     assert set(pattern.entries()) == {(0, 1), (2, 3)}
+
+
+# ----------------------------------------------------------------------
+# numpy fast paths (must be result-identical to the scalar loops)
+# ----------------------------------------------------------------------
+def _scalar_mxm(a, b):
+    """The product via the scalar path, whatever the matrices' nnz."""
+    import repro.graph.matrix as matrix_module
+
+    saved = matrix_module._NUMPY_MXM_THRESHOLD
+    matrix_module._NUMPY_MXM_THRESHOLD = 1 << 60
+    try:
+        return a.mxm(b)
+    finally:
+        matrix_module._NUMPY_MXM_THRESHOLD = saved
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=40),
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=40
+    ),
+)
+def test_boolean_mxm_numpy_matches_scalar(a_entries, b_entries):
+    a = BooleanMatrix.from_entries(a_entries, num_rows=8, num_cols=8)
+    b = BooleanMatrix.from_entries(b_entries, num_rows=8, num_cols=8)
+    if not a._rows:
+        return
+    fast = a._mxm_numpy(b)
+    assert fast == _scalar_mxm(a, b)
+
+
+def test_boolean_mxm_dispatches_to_numpy_past_threshold():
+    import random
+
+    rng = random.Random(17)
+    entries = {(rng.randrange(40), rng.randrange(40)) for _ in range(300)}
+    adjacency = BooleanMatrix.from_entries(entries, num_rows=40, num_cols=40)
+    assert adjacency.nnz >= 64  # the automatic path is the numpy one
+    product = adjacency.mxm(adjacency)
+    assert product == _scalar_mxm(adjacency, adjacency)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(1, 5)),
+        max_size=30,
+    ),
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(1, 5)),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_counting_mxm_numpy_matches_scalar(a_cells, b_cells):
+    a = SemiringMatrix(num_rows=7, num_cols=7, semiring=COUNTING)
+    b = SemiringMatrix(num_rows=7, num_cols=7, semiring=COUNTING)
+    for row, col, value in a_cells:
+        a.set(row, col, value)
+    for row, col, value in b_cells:
+        b.set(row, col, value)
+    if not a._values:
+        return
+    fast = a._mxm_numpy(b)
+    assert fast is not None
+    scalar = _scalar_mxm(a, b)
+    assert {
+        (row, col, value)
+        for row, cells in fast.iter_rows()
+        for col, value in cells.items()
+    } == {
+        (row, col, value)
+        for row, cells in scalar.iter_rows()
+        for col, value in cells.items()
+    }
+    # Values come back as python scalars, exactly like the scalar path.
+    for _, cells in fast.iter_rows():
+        for value in cells.values():
+            assert type(value) is int
+
+
+def test_min_plus_mxm_numpy_matches_scalar():
+    a = SemiringMatrix(semiring=MIN_PLUS)
+    b = SemiringMatrix(semiring=MIN_PLUS)
+    a.set(0, 1, 1)
+    a.set(0, 2, 4)
+    b.set(1, 3, 1)
+    b.set(2, 3, 1)
+    b.set(1, 4, 7)
+    fast = a._mxm_numpy(b)
+    scalar = _scalar_mxm(a, b)
+    assert fast.get(0, 3) == scalar.get(0, 3) == 2
+    assert fast.get(0, 4) == scalar.get(0, 4) == 8
+
+
+def test_semiring_mxm_numpy_falls_back_on_overflow_risk():
+    """Counting values past the int64-safe bound keep the exact scalar
+    path (python arbitrary-precision ints)."""
+    huge = 2 ** 80
+    a = SemiringMatrix(semiring=COUNTING)
+    b = SemiringMatrix(semiring=COUNTING)
+    a.set(0, 1, huge)
+    b.set(1, 2, huge)
+    assert a._mxm_numpy(b) is None
+    assert a.mxm(b).get(0, 2) == huge * huge
+
+
+def test_semiring_mxm_numpy_falls_back_on_float_rounding_risk():
+    """Mixing floats with ints past 2**53 would round under float64."""
+    big_int = 2 ** 53 + 1
+    a = SemiringMatrix(semiring=MIN_PLUS)
+    b = SemiringMatrix(semiring=MIN_PLUS)
+    a.set(0, 1, big_int)
+    b.set(1, 2, 0.5)
+    assert a._mxm_numpy(b) is None
+    assert a.mxm(b).get(0, 2) == big_int + 0.5
+
+
+def test_semiring_without_ufuncs_stays_on_scalar_path():
+    from repro.graph.semiring import Semiring
+
+    concat = Semiring(
+        name="concat", add=lambda x, y: x or y, multiply=lambda x, y: x + y,
+        zero="", one="",
+    )
+    a = SemiringMatrix(semiring=concat)
+    b = SemiringMatrix(semiring=concat)
+    for offset in range(70):  # past the nnz threshold
+        a.set(0, offset, "a")
+        b.set(offset, 1, "b")
+    assert a.mxm(b).get(0, 1) == "ab"
 
 
 @settings(max_examples=30, deadline=None)

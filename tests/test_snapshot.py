@@ -594,3 +594,115 @@ def test_epoch_retention_bounds_registry():
     system.insert_edges([(0, 999)])
     system.current_epoch_id
     assert pinned_id not in system._epochs.retained_ids()
+
+
+# ----------------------------------------------------------------------
+# Derived views: degree histogram, transposed blocks, per-label blocks
+# ----------------------------------------------------------------------
+def test_degree_histogram_counts_rows_by_out_degree():
+    snapshot = build_snapshot(
+        [(5, [(1, 0), (5, 0), (9, 0)]), (1, [(5, 0)]), (9, [])],
+        bytes_per_entry=12,
+        working_set_bytes=100,
+        count_local=True,
+    )
+    histogram = snapshot.degree_histogram()
+    assert histogram.tolist() == [1, 1, 0, 1]  # degrees 0, 1 and 3
+    assert not histogram.flags.writeable
+    assert snapshot.degree_histogram() is histogram  # cached
+    empty = build_snapshot(
+        [], bytes_per_entry=12, working_set_bytes=1, count_local=True
+    )
+    assert empty.degree_histogram().tolist() == [0]
+
+
+def test_transpose_block_groups_in_edges_by_destination():
+    snapshot = build_snapshot(
+        [(1, [(7, 0), (3, 0)]), (5, [(3, 0)]), (9, [(9, 0)])],
+        bytes_per_entry=12,
+        working_set_bytes=100,
+        count_local=True,
+    )
+    block = snapshot.transpose_block()
+    assert block.dsts.tolist() == [3, 7, 9]
+    assert block.indptr.tolist() == [0, 2, 3, 4]
+    assert block.num_edges == snapshot.num_edges == 4
+    # src_rows are row *indices* into node_ids ([1, 5, 9] -> 0, 1, 2):
+    # dst 3 <- rows {1, 5}, dst 7 <- row 1, dst 9 <- row 9.
+    assert sorted(block.src_rows[0:2].tolist()) == [0, 1]
+    assert block.src_rows[2:3].tolist() == [0]
+    assert block.src_rows[3:4].tolist() == [2]
+    assert snapshot.transpose_block() is block  # cached
+    assert not block.dsts.flags.writeable
+
+
+def test_transpose_block_round_trips_every_edge():
+    storage = LocalGraphStorage()
+    graph = random_graph(40, 200, seed=13)
+    for src, dst in graph.edges():
+        storage.add_edge(src, dst)
+    snapshot = storage.to_csr()
+    block = snapshot.transpose_block()
+    pulled = set()
+    for position, dst in enumerate(block.dsts.tolist()):
+        for edge in range(block.indptr[position], block.indptr[position + 1]):
+            src = int(snapshot.node_ids[block.src_rows[edge]])
+            pulled.add((src, dst))
+    assert pulled == set(graph.edges())
+
+
+def test_label_blocks_partition_edges_by_label():
+    snapshot = build_snapshot(
+        [(0, [(1, 1), (2, 2)]), (1, [(2, 1)]), (2, [])],
+        bytes_per_entry=12,
+        working_set_bytes=100,
+        count_local=True,
+    )
+    blocks = snapshot.label_blocks()
+    assert sorted(blocks) == [1, 2]
+    assert blocks[1].dsts.tolist() == [1, 2]
+    assert blocks[1].num_edges == 2
+    assert blocks[2].dsts.tolist() == [2]
+    assert blocks[2].src_rows.tolist() == [0]
+    assert sum(block.num_edges for block in blocks.values()) == snapshot.num_edges
+    assert snapshot.label_blocks() is blocks  # cached
+    empty = build_snapshot(
+        [], bytes_per_entry=12, working_set_bytes=1, count_local=True
+    )
+    assert empty.label_blocks() == {}
+
+
+def test_derived_views_refresh_with_the_snapshot():
+    """Mutation replaces the snapshot object, so stale cached views are
+    unreachable rather than invalidated in place."""
+    storage = LocalGraphStorage()
+    storage.add_edge(0, 1)
+    before = storage.to_csr()
+    block_before = before.transpose_block()
+    histogram_before = before.degree_histogram()
+    storage.add_edge(0, 2)
+    after = storage.to_csr()
+    assert after is not before
+    assert after.transpose_block() is not block_before
+    assert after.degree_histogram() is not histogram_before
+    assert after.transpose_block().dsts.tolist() == [1, 2]
+    assert before.transpose_block().dsts.tolist() == [1]  # old view intact
+
+
+def test_epoch_degree_histogram_sums_pinned_snapshots():
+    system = Moctopus.from_graph(
+        random_graph(30, 120, seed=9),
+        MoctopusConfig(cost_model=CostModel(num_modules=4)),
+    )
+    epoch = system._epochs.current()
+    histogram = epoch.degree_histogram()
+    parts = [snapshot.degree_histogram() for snapshot in epoch.snapshots]
+    expected = np.zeros(max(len(part) for part in parts), dtype=np.int64)
+    for part in parts:
+        expected[: len(part)] += part
+    assert histogram.tolist() == expected.tolist()
+    assert int(histogram.sum()) == sum(
+        snapshot.num_rows for snapshot in epoch.snapshots
+    )
+    assert not histogram.flags.writeable
+    assert epoch.degree_histogram() is histogram  # cached

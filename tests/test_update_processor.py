@@ -17,18 +17,25 @@ from repro.pim import CostModel
 # ----------------------------------------------------------------------
 def test_pending_batch_requeue_is_per_source():
     pending = _PendingBatch()
-    pending.queue_add(0, src=1, dst=10, label=0)
-    pending.queue_add(0, src=2, dst=20, label=0)
-    pending.queue_add(0, src=1, dst=11, label=3)
-    pending.queue_sub(0, src=1, dst=12)
-    pending.queue_sub(0, src=3, dst=30)
-    adds, subs = pending.requeue_source(1, module=0)
-    # src 1's entries come back in queueing order; others are untouched.
-    assert adds == [(1, 10, 0), (1, 11, 3)]
-    assert subs == [(1, 12)]
-    module_adds, module_subs = pending.finalize()
-    assert module_adds[0] == [(2, 20, 0)]
-    assert module_subs[0] == [(3, 30)]
+    pending.queue_add(0, seq=0, src=1, dst=10, label=0)
+    pending.queue_add(0, seq=1, src=2, dst=20, label=0)
+    pending.queue_add(0, seq=2, src=1, dst=11, label=3)
+    pending.queue_sub(0, seq=3, src=1, dst=12)
+    pending.queue_sub(0, seq=4, src=3, dst=30)
+    requeued = pending.requeue_source(1, module=0)
+    # src 1's entries come back in batch order; others are untouched.
+    assert requeued == [
+        (0, UpdateKind.INSERT, 1, 10, 0),
+        (2, UpdateKind.INSERT, 1, 11, 3),
+        (3, UpdateKind.DELETE, 1, 12, 0),
+    ]
+    module_ops = pending.finalize()
+    entries, has_adds, has_subs = module_ops[0]
+    assert entries == [
+        (1, UpdateKind.INSERT, 2, 20, 0),
+        (4, UpdateKind.DELETE, 3, 30, 0),
+    ]
+    assert has_adds and has_subs
 
 
 def test_pending_batch_keeps_emptied_module_operator():
@@ -39,28 +46,41 @@ def test_pending_batch_keeps_emptied_module_operator():
     drained them all; the tombstone finalize must preserve that.
     """
     pending = _PendingBatch()
-    pending.queue_add(2, src=7, dst=70, label=0)
+    pending.queue_add(2, seq=0, src=7, dst=70, label=0)
     pending.requeue_source(7, module=2)
-    module_adds, _ = pending.finalize()
-    assert module_adds == {2: []}
+    module_ops = pending.finalize()
+    assert module_ops == {2: ([], True, False)}
 
 
 def test_pending_batch_untracked_bulk_entries_are_not_requeued():
     pending = _PendingBatch()
-    pending.extend_adds(1, [(5, 50, 0), (6, 60, 0)])
-    pending.queue_add(1, src=5, dst=51, label=0)
-    adds, subs = pending.requeue_source(5, module=1)
+    pending.extend_adds(1, [(0, 5, 50, 0), (1, 6, 60, 0)])
+    pending.queue_add(1, seq=2, src=5, dst=51, label=0)
+    requeued = pending.requeue_source(5, module=1)
     # Only the tracked entry moves; the bulk (never-promotable) ones stay.
-    assert adds == [(5, 51, 0)] and subs == []
-    module_adds, _ = pending.finalize()
-    assert module_adds[1] == [(5, 50, 0), (6, 60, 0)]
+    assert requeued == [(2, UpdateKind.INSERT, 5, 51, 0)]
+    entries, has_adds, has_subs = pending.finalize()[1]
+    assert entries == [
+        (0, UpdateKind.INSERT, 5, 50, 0),
+        (1, UpdateKind.INSERT, 6, 60, 0),
+    ]
+    assert has_adds and not has_subs
+
+
+def test_pending_batch_finalize_orders_by_batch_position():
+    """Bulk-queued adds and subs interleave back into batch order."""
+    pending = _PendingBatch()
+    pending.extend_subs(0, [(0, 1, 10), (2, 1, 11)])
+    pending.extend_adds(0, [(1, 1, 10, 0), (3, 2, 20, 0)])
+    entries, _, _ = pending.finalize()[0]
+    assert [entry[0] for entry in entries] == [0, 1, 2, 3]
 
 
 def test_pending_batch_requeue_of_unknown_source_is_empty():
     pending = _PendingBatch()
-    pending.queue_add(0, src=1, dst=10, label=0)
-    assert pending.requeue_source(99, module=0) == ([], [])
-    assert pending.requeue_source(1, module=5) == ([], [])
+    pending.queue_add(0, seq=0, src=1, dst=10, label=0)
+    assert pending.requeue_source(99, module=0) == []
+    assert pending.requeue_source(1, module=5) == []
 
 
 # ----------------------------------------------------------------------
@@ -76,7 +96,7 @@ def promotion_system(engine="python", threshold=4):
     return Moctopus.from_graph(graph, config)
 
 
-@pytest.mark.parametrize("engine", ["python", "vectorized"])
+@pytest.mark.parametrize("engine", ["python", "vectorized", "matrix"])
 def test_multiple_promotions_in_one_batch(engine):
     """Two sources crossing the threshold in the same batch both requeue."""
     system = promotion_system(engine=engine)
@@ -101,7 +121,7 @@ def test_multiple_promotions_in_one_batch(engine):
     assert result.destinations_of(1) == set(system.graph.successors(1))
 
 
-@pytest.mark.parametrize("engine", ["python", "vectorized"])
+@pytest.mark.parametrize("engine", ["python", "vectorized", "matrix"])
 def test_promotion_requeues_pending_deletes_too(engine):
     system = promotion_system(engine=engine)
     ops = [UpdateOp(UpdateKind.DELETE, 0, 1)]  # queued for 0's module first
@@ -111,6 +131,39 @@ def test_promotion_requeues_pending_deletes_too(engine):
     assert not system.has_edge(0, 1)  # the requeued delete was applied
     for dst in range(20, 25):
         assert system.has_edge(0, dst)
+
+
+@pytest.mark.parametrize("engine", ["python", "vectorized", "matrix"])
+def test_same_edge_delete_then_insert_in_one_batch(engine):
+    """A batch replays sequentially per edge: the last op wins.
+
+    Regression test: applying whole ``add`` operators before ``sub``
+    operators used to resolve [DELETE e, DELETE e, INSERT e] to *absent*
+    (the insert landed first and the deletes erased it).
+    """
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (3, 0)])
+    config = MoctopusConfig(cost_model=CostModel(num_modules=4), engine=engine)
+    system = Moctopus.from_graph(graph, config)
+    system.apply_updates(
+        [
+            UpdateOp(UpdateKind.DELETE, 0, 1),
+            UpdateOp(UpdateKind.DELETE, 0, 1),
+            UpdateOp(UpdateKind.INSERT, 0, 1),
+        ]
+    )
+    assert system.has_edge(0, 1)
+    result, _ = system.batch_khop([0], hops=1)
+    assert result.destinations_of(0) == {1, 2}
+    # And the mirror graph agrees with the storages.
+    assert 1 in set(system.graph.successors(0))
+
+    system.apply_updates(
+        [
+            UpdateOp(UpdateKind.INSERT, 0, 9),
+            UpdateOp(UpdateKind.DELETE, 0, 9),
+        ]
+    )
+    assert not system.has_edge(0, 9)
 
 
 def test_mixed_batch_stats_match_insert_then_delete_state():
