@@ -1,0 +1,256 @@
+"""Planner-cache benchmark: epoch-keyed plan/result caching wall-clock.
+
+Serving workloads repeat themselves: a handful of hot path expressions
+account for most of the traffic.  This benchmark replays a Zipfian
+query mix over a pinned epoch twice per engine — once on a system with
+the planner's epoch-keyed plan cache and LRU result cache enabled (the
+default configuration) and once with both caches disabled (the
+pre-planner behaviour) — and gates on the wall-clock speedup.
+
+Correctness is asserted per issue, not sampled: every cached answer
+must equal the uncached system's answer (results *and* the simulated
+statistics breakdown), which exercises the deep-copy discipline of the
+result cache — a cached hit returns a private copy that is bit-identical
+to a fresh execution.
+
+The acceptance gate: geometric-mean speedup across the three engines of
+at least ``MIN_SPEEDUP`` (default 2.0x).
+
+Run styles::
+
+    python -m pytest benchmarks/bench_planner.py -q -s   # smoke
+    python benchmarks/bench_planner.py                   # table
+    python benchmarks/bench_planner.py --json BENCH_planner.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Dict, List, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench import format_table, geometric_mean  # noqa: E402
+from repro.core import Moctopus, MoctopusConfig  # noqa: E402
+from repro.graph import DiGraph, random_graph  # noqa: E402
+from repro.pim import CostModel  # noqa: E402
+from repro.rpq import RPQuery, random_source_batch  # noqa: E402
+
+ENGINES = ("python", "vectorized", "matrix")
+
+#: Wall-clock geomean speedup (across engines) the cached configuration
+#: must show over the cache-disabled configuration on the Zipfian mix.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_PLANNER_SPEEDUP", "2.0"))
+
+#: Timed rounds per (engine, configuration); the minimum is reported.
+TIMING_ROUNDS = 3
+
+#: Distinct hot path expressions in the mix (fixed-length chains, rare
+#: suffixes the planner may flip to reverse, and Kleene plans).
+EXPRESSIONS: List[str] = [
+    "a", "b", "a/b", "b/a", "a/c", "_/c", "(a|b)/c", "a/a",
+    ".{2}", "a/b/c", "(a|b)/a", "c", "a/b/a", "b/c", "a+", "(a/a)*",
+]
+
+#: Zipf skew of the query mix (s > 1: a few queries dominate).
+ZIPF_S = 1.1
+
+#: Total query issues replayed per configuration.
+NUM_ISSUES = 200
+
+
+def _sizes() -> Tuple[int, int]:
+    """(nodes, edges) honoring the shared ``REPRO_BENCH_SCALE`` knob."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return int(1500 * scale), int(12000 * scale)
+
+
+def build_graph(seed: int = 9) -> Tuple[DiGraph, Dict[int, str]]:
+    """A labeled random graph with a deliberately rare ``c`` label."""
+    num_nodes, num_edges = _sizes()
+    base = random_graph(num_nodes, num_edges, seed=seed)
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for src, dst in base.edges():
+        # 12:8:1 skew — "c" is the rare accepting side reverse plans win on.
+        roll = rng.randrange(21)
+        graph.add_edge(src, dst, label=1 if roll < 12 else (2 if roll < 20 else 3))
+    return graph, {1: "a", 2: "b", 3: "c"}
+
+
+def build_system(
+    graph: DiGraph, labels: Dict[int, str], engine: str, cached: bool
+) -> Moctopus:
+    config = MoctopusConfig(
+        cost_model=CostModel(num_modules=4),
+        engine=engine,
+        plan_cache_size=128 if cached else 0,
+        result_cache_size=256 if cached else 0,
+    )
+    return Moctopus.from_graph(graph, config, label_names=labels)
+
+
+def build_mix(graph: DiGraph, seed: int = 31) -> List[RPQuery]:
+    """The Zipfian issue sequence: repeat-heavy over distinct queries."""
+    nodes = list(graph.nodes())
+    distinct = [
+        RPQuery(
+            expression,
+            random_source_batch(nodes, 16, seed=rank * 13 + 5),
+        )
+        for rank, expression in enumerate(EXPRESSIONS)
+    ]
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(distinct))]
+    rng = random.Random(seed)
+    return rng.choices(distinct, weights=weights, k=NUM_ISSUES)
+
+
+def _replay(session, mix: List[RPQuery]):
+    """Execute the full mix; returns per-issue (result, stats) pairs."""
+    return [session.execute(query) for query in mix]
+
+
+def _time_replay(session, mix: List[RPQuery]) -> Tuple[float, list]:
+    outcomes = _replay(session, mix)  # warm round (populates caches)
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        outcomes = _replay(session, mix)
+        best = min(best, time.perf_counter() - start)
+    return best, outcomes
+
+
+def run_sweep(verbose: bool = True) -> Dict[str, object]:
+    graph, labels = build_graph()
+    mix = build_mix(graph)
+    distinct_issued = len({id(query) for query in mix})
+
+    rows = []
+    for engine in ENGINES:
+        cached_system = build_system(graph, labels, engine, cached=True)
+        uncached_system = build_system(graph, labels, engine, cached=False)
+        with cached_system.begin() as cached_session, \
+                uncached_system.begin() as uncached_session:
+            cached_s, cached_outcomes = _time_replay(cached_session, mix)
+            uncached_s, uncached_outcomes = _time_replay(
+                uncached_session, mix
+            )
+        for index, (cached_outcome, uncached_outcome) in enumerate(
+            zip(cached_outcomes, uncached_outcomes)
+        ):
+            cached_result, cached_stats = cached_outcome
+            uncached_result, uncached_stats = uncached_outcome
+            if cached_result != uncached_result:
+                raise AssertionError(
+                    f"{engine}: cached result diverges on issue {index} "
+                    f"({mix[index].expression!r})"
+                )
+            if cached_stats.breakdown() != uncached_stats.breakdown():
+                raise AssertionError(
+                    f"{engine}: cached stats diverge on issue {index} "
+                    f"({mix[index].expression!r})"
+                )
+        cache_counters = dict(
+            cached_system._query_processor.cache_stats.counters
+        )
+        rows.append(
+            {
+                "engine": engine,
+                "uncached_wall_ms": uncached_s * 1e3,
+                "cached_wall_ms": cached_s * 1e3,
+                "speedup": uncached_s / cached_s,
+                "result_cache_hits": cache_counters.get(
+                    "result_cache_hits", 0
+                ),
+                "plan_cache_hits": cache_counters.get("plan_cache_hits", 0),
+            }
+        )
+
+    geomean = geometric_mean([row["speedup"] for row in rows])
+    if verbose:
+        num_nodes, num_edges = _sizes()
+        print()
+        print(
+            f"planner caches vs uncached: {num_nodes} nodes / {num_edges} "
+            f"edges, {NUM_ISSUES} Zipfian issues over {distinct_issued} "
+            f"distinct queries (wall-clock ms, best of {TIMING_ROUNDS})"
+        )
+        header = [
+            "engine", "uncached_ms", "cached_ms", "speedup",
+            "result_hits", "plan_hits",
+        ]
+        print(
+            format_table(
+                header,
+                [
+                    [
+                        row["engine"],
+                        f"{row['uncached_wall_ms']:.2f}",
+                        f"{row['cached_wall_ms']:.2f}",
+                        f"{row['speedup']:.2f}x",
+                        row["result_cache_hits"],
+                        row["plan_cache_hits"],
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+        print(
+            f"  geomean speedup: {geomean:.2f}x "
+            f"(required >= {MIN_SPEEDUP:.1f}x)"
+        )
+    return {
+        "workload": dict(zip(("nodes", "edges"), _sizes())),
+        "num_issues": NUM_ISSUES,
+        "distinct_queries": distinct_issued,
+        "zipf_s": ZIPF_S,
+        "engines": rows,
+        "geomean_speedup": geomean,
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+
+
+def test_planner_cache_speedup():
+    """Headline: caches >= 2x on a repeat-heavy serving mix, bit-identical."""
+    report = run_sweep(verbose=True)
+    if os.environ.get("REPRO_BENCH_LAX"):
+        return  # report-only on slow/loaded machines
+    assert report["geomean_speedup"] >= MIN_SPEEDUP, (
+        "planner caches are only "
+        f"{report['geomean_speedup']:.2f}x faster than the uncached path "
+        f"on the Zipfian mix (required {MIN_SPEEDUP:.1f}x; set "
+        "REPRO_BENCH_LAX=1 to report without asserting)"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the timing report as JSON (CI perf-trajectory artifact)",
+    )
+    args = parser.parse_args()
+    report = run_sweep(verbose=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if not os.environ.get("REPRO_BENCH_LAX"):
+        if report["geomean_speedup"] < MIN_SPEEDUP:
+            print("FAIL: speedup below required minimum", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

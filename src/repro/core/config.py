@@ -134,6 +134,25 @@ class MoctopusConfig:
     #: fault-injection harness models); turn this on for power-loss
     #: durability at the usual per-batch latency cost.
     wal_fsync: bool = False
+    #: Expansion-direction policy of the cost-based planner:
+    #: ``"auto"`` compares the estimated forward cost against reverse
+    #: expansion from the rarer accepting side (epoch-pinned,
+    #: fixed-length plans only); ``"forward"`` pins the classic
+    #: source-side expansion (the pre-planner behaviour and the
+    #: ablation baseline).
+    planner_direction: str = "auto"
+    #: Whether the planner's advisory engine hint may pick the backend
+    #: when the caller did not pin one.  Callers that pass an engine
+    #: instance (sessions, schedulers) are never overridden.
+    planner_engine_selection: bool = True
+    #: Bound of the epoch-keyed plan cache on the query processor
+    #: (entries; LRU).  ``0`` disables plan caching.
+    plan_cache_size: int = 128
+    #: Bound of the epoch-keyed LRU result cache for repeated
+    #: ``(expression, sources, epoch)`` hits.  Entries are deep copies,
+    #: so cached answers are bit-identical to a fresh execution
+    #: (results *and* simulated stats).  ``0`` disables result caching.
+    result_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.pim_placement not in ("radical_greedy", "hash"):
@@ -178,6 +197,15 @@ class MoctopusConfig:
             raise ValueError("wal_segment_bytes must be >= 1024")
         if self.checkpoint_interval_batches < 0:
             raise ValueError("checkpoint_interval_batches must be >= 0")
+        if self.planner_direction not in ("auto", "forward"):
+            raise ValueError(
+                "planner_direction must be 'auto' or 'forward', "
+                f"got {self.planner_direction!r}"
+            )
+        if self.plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
+        if self.result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
 
     @property
     def num_modules(self) -> int:

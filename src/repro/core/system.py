@@ -468,6 +468,27 @@ class Moctopus:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def explain(self, query, pinned: bool = True) -> str:
+        """The cost-based plan for ``query``, rendered for humans.
+
+        With ``pinned`` (the default) the query is planned against the
+        latest published epoch, so the explanation shows what a session
+        opened now would run — expansion direction, cost estimates and
+        the planner's reasoning included.  ``pinned=False`` explains the
+        live (statistics-free, always-forward) plan instead.
+        """
+        view = self._epochs.current() if pinned else None
+        return self._query_processor.plan(query, view=view).explain()
+
+    @property
+    def cache_stats(self) -> ExecutionStats:
+        """Plan/result cache hit and miss counters (cumulative).
+
+        Kept separate from every per-query :class:`ExecutionStats` so
+        cached answers stay bit-identical to uncached ones.
+        """
+        return self._query_processor.cache_stats
+
     @property
     def graph(self) -> DiGraph:
         """The mirror of the currently stored graph (read-only by convention)."""

@@ -25,7 +25,7 @@ their simulated work counters comparable item for item.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rpq.automaton import DFA
 from repro.rpq.planner import ExpandStep, FixpointStep, LogicalPlan
@@ -64,6 +64,42 @@ class ReduceOp:
 PhysicalOp = Union[DispatchOp, ExpandOp, RouteOp, FixpointOp, ReduceOp]
 
 
+@dataclass(frozen=True)
+class ReversePlan:
+    """Reverse-direction execution parameters attached to a physical plan.
+
+    A reverse plan runs the *reversed-expression* DFA (already carried by
+    ``PhysicalPlan.dfa``) from ``seeds`` — the candidate path end nodes —
+    and inverts the matches afterwards.  The dataclass is deliberately
+    flat and picklable so the worker pool can ship reverse plans
+    unchanged.
+    """
+
+    #: Sorted candidate end nodes the reverse expansion starts from.
+    seeds: Tuple[int, ...]
+
+
+def invert_reverse_results(
+    sources: Sequence[int],
+    seeds: Sequence[int],
+    reverse_destinations: Sequence[Set[int]],
+) -> List[Set[int]]:
+    """Turn reverse-direction matches back into forward batch results.
+
+    ``reverse_destinations[i]`` holds the *start* nodes reached from
+    ``seeds[i]`` along the reversed expression; a forward query from
+    ``source`` therefore matches exactly the seeds whose reverse set
+    contains it.  Every engine funnels reverse results through this one
+    helper so the inversion (and its result counters) stay bit-identical
+    across backends.
+    """
+    reached: Dict[int, Set[int]] = {}
+    for row, end_node in enumerate(seeds):
+        for start_node in reverse_destinations[row]:
+            reached.setdefault(start_node, set()).add(end_node)
+    return [set(reached.get(source, ())) for source in sources]
+
+
 @dataclass
 class PhysicalPlan:
     """A lowered, backend-agnostic operator sequence for one batch query."""
@@ -75,6 +111,14 @@ class PhysicalPlan:
     accumulate_results: bool = False
     #: Automaton carried by the frontier contexts (``None`` = bare rows).
     dfa: Optional[DFA] = None
+    #: Expansion direction (``"forward"`` or ``"reverse"``).  For reverse
+    #: plans ``dfa`` is the reversed-expression automaton and ``reverse``
+    #: carries the seed nodes; engines invert the matches at the end.
+    direction: str = "forward"
+    reverse: Optional[ReversePlan] = None
+    #: Advisory engine choice from the cost planner; honoured only when
+    #: the caller did not pin an engine.
+    engine_hint: Optional[str] = None
 
     def max_expansion_phases(self) -> int:
         """Upper bound on the expand/route phases this plan can run.
@@ -95,6 +139,9 @@ class PhysicalPlan:
     def explain(self) -> str:
         """Human-readable operator listing (one line per op)."""
         lines = []
+        if self.direction != "forward":
+            seeds = len(self.reverse.seeds) if self.reverse is not None else 0
+            lines.append(f"direction: {self.direction} (seeds={seeds})")
         for index, op in enumerate(self.ops):
             if isinstance(op, DispatchOp):
                 lines.append(f"{index}: dispatch sources")
@@ -165,9 +212,17 @@ def lower_plan(plan: LogicalPlan, default_fixpoint_iterations: int) -> PhysicalP
 
     ``default_fixpoint_iterations`` bounds Kleene closures whose logical
     step carries no explicit bound; the query processor passes the total
-    number of stored rows (a path revisiting no node is no longer than
-    that).
+    number of stored rows.  DFA-guided plans explore the *product* graph
+    — up to ``rows x dfa.num_states`` distinct ``(node, state)`` pairs —
+    so the default is scaled by the attached automaton's state count
+    here, where every caller gets it; a rows-only bound can drain the
+    fixpoint early and silently truncate results (e.g. ``(a/a)*`` over a
+    long cycle revisits nodes in different states).  Explicit per-step
+    bounds are honoured verbatim.
     """
+    default_bound = max(1, default_fixpoint_iterations)
+    if plan.dfa is not None:
+        default_bound *= max(1, plan.dfa.num_states)
     ops: List[PhysicalOp] = [DispatchOp()]
     expansion_index = 0
     for step in plan.steps:
@@ -177,12 +232,21 @@ def lower_plan(plan: LogicalPlan, default_fixpoint_iterations: int) -> PhysicalP
             ops.append(RouteOp())
         elif isinstance(step, FixpointStep):
             ops.append(
-                FixpointOp(
-                    max_iterations=step.max_iterations or default_fixpoint_iterations
-                )
+                FixpointOp(max_iterations=step.max_iterations or default_bound)
             )
         else:
             ops.append(ReduceOp())
+    reverse = None
+    if plan.direction == "reverse":
+        if plan.reverse_seeds is None:
+            raise ValueError("reverse plans must carry reverse_seeds")
+        reverse = ReversePlan(seeds=tuple(plan.reverse_seeds))
+    decision = plan.decision
     return PhysicalPlan(
-        ops=ops, accumulate_results=plan.accumulate_results, dfa=plan.dfa
+        ops=ops,
+        accumulate_results=plan.accumulate_results,
+        dfa=plan.dfa,
+        direction=plan.direction,
+        reverse=reverse,
+        engine_hint=decision.engine_hint if decision is not None else None,
     )

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.operators import BYTES_PER_FRONTIER_ITEM
 from repro.engine.accounting import charge_dispatch, charge_reduce
 from repro.engine.base import EngineRuntime, Frontier, PlanView
-from repro.engine.physical import PhysicalPlan, run_plan
+from repro.engine.physical import PhysicalPlan, invert_reverse_results, run_plan
 from repro.partition.base import HOST_PARTITION
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import OperationContext
@@ -36,12 +36,26 @@ class PythonEngine:
         #: Epoch-pinned state substitute for the current ``execute`` call
         #: (``None`` = live storages).  See :class:`PlanView`.
         self._view: Optional[PlanView] = None
+        #: Expansion direction of the current ``execute`` call; reverse
+        #: plans resolve rows and owners against the epoch's reversed
+        #: adjacency index instead of the forward snapshots.
+        self._direction: str = "forward"
 
     def _owner(self, node: int) -> Optional[int]:
         """Owner of ``node`` — frozen epoch table when pinned, else live."""
         if self._view is not None:
+            if self._direction == "reverse":
+                return self._view.reverse_owner(node)
             return self._view.owner(node)
         return self._runtime.owner(node)
+
+    def _view_snapshot(self, partition: int):
+        """The pinned snapshot to expand against (direction-aware)."""
+        view = self._view
+        assert view is not None
+        if self._direction == "reverse":
+            return view.reverse_snapshot_of(partition)
+        return view.snapshot_of(partition)
 
     # ------------------------------------------------------------------
     # Plan execution
@@ -53,22 +67,32 @@ class PythonEngine:
         view: Optional[PlanView] = None,
     ) -> Tuple[BatchResult, ExecutionStats]:
         runtime = self._runtime
+        reverse = plan.direction == "reverse"
+        if reverse and (view is None or plan.reverse is None):
+            raise ValueError(
+                "reverse plans require a pinned view and reverse seeds"
+            )
+        #: Reverse plans expand the reversed-expression DFA from the
+        #: candidate end nodes; the forward answer is recovered by
+        #: inverting the matches after the plan drains.
+        run_sources = list(plan.reverse.seeds) if reverse else sources
         self._view = view
+        self._direction = plan.direction
         op = (view.pim if view is not None else runtime.pim).begin_operation()
         dfa = plan.dfa
         accumulate = plan.accumulate_results
-        results: List[Set[int]] = [set() for _ in sources]
+        results: List[Set[int]] = [set() for _ in run_sources]
         state: Dict[str, Frontier] = {"frontier": {}}
         seen: Set[Tuple[int, Context]] = set()
 
         def dispatch() -> None:
             frontier, skipped = self._build_initial_frontier(
-                sources, dfa, results, accumulate
+                run_sources, dfa, results, accumulate
             )
             state["frontier"] = frontier
             with op.phase("dispatch"):
                 self._charge_dispatch(op, frontier)
-            op.add_counter("batch_size", len(sources))
+            op.add_counter("batch_size", len(run_sources))
             op.add_counter("unknown_sources", skipped)
             if accumulate:
                 for partition_frontier in frontier.values():
@@ -101,7 +125,12 @@ class PythonEngine:
             # Never let a pinned epoch outlive the call through engine
             # scratch state.
             self._view = None
+            self._direction = "forward"
 
+        if reverse:
+            results = invert_reverse_results(
+                sources, plan.reverse.seeds, results
+            )
         stats = op.finish()
         stats.add_counter(
             "results", sum(len(destinations) for destinations in results)
@@ -202,10 +231,11 @@ class PythonEngine:
         view = self._view
         if view is not None:
             # Pinned execution: expand against the epoch's frozen CSR
-            # snapshot with the same per-row accounting the live
+            # snapshot (the reversed-adjacency capture for reverse
+            # plans) with the same per-row accounting the live
             # OperatorProcessor charges; misplacement detection is off
             # (reports from a stale epoch would misdirect the migrator).
-            snapshot = view.snapshot_of(module_id)
+            snapshot = self._view_snapshot(module_id)
             produced, rows_touched, streamed, items = self._expand_rows(
                 partition_frontier,
                 dfa,
@@ -279,7 +309,7 @@ class PythonEngine:
         runtime = self._runtime
         view = self._view
         if view is not None:
-            snapshot = view.snapshot_of(HOST_PARTITION)
+            snapshot = self._view_snapshot(HOST_PARTITION)
             working_set = snapshot.working_set_bytes
             fetch_row = snapshot.row_entries
             row_bytes = lambda node, hops: len(hops) * snapshot.bytes_per_entry  # noqa: E731

@@ -44,7 +44,7 @@ import numpy as np
 from repro.core.operators import BYTES_PER_FRONTIER_ITEM
 from repro.engine.accounting import charge_dispatch, charge_reduce
 from repro.engine.base import EngineRuntime
-from repro.engine.physical import PhysicalPlan, run_plan
+from repro.engine.physical import PhysicalPlan, invert_reverse_results, run_plan
 from repro.partition.base import HOST_PARTITION
 from repro.partition.owner_index import OwnerIndex
 from repro.pim.stats import ExecutionStats
@@ -199,6 +199,10 @@ class VectorizedEngine:
         #: Epoch-pinned state substitute for the current ``execute`` call
         #: (``None`` = live storages).  See :class:`~repro.engine.base.PlanView`.
         self._view = None
+        #: Expansion direction of the current ``execute`` call; reverse
+        #: plans resolve rows and owners against the epoch's reversed
+        #: adjacency index instead of the forward snapshots.
+        self._direction = "forward"
 
     # ------------------------------------------------------------------
     # Plan execution
@@ -209,7 +213,14 @@ class VectorizedEngine:
         sources: List[int],
         view=None,
     ) -> Tuple[BatchResult, ExecutionStats]:
+        if plan.direction == "reverse" and (
+            view is None or plan.reverse is None or plan.dfa is None
+        ):
+            raise ValueError(
+                "reverse plans require a pinned view, reverse seeds and a DFA"
+            )
         self._view = view
+        self._direction = plan.direction
         try:
             if view is None:
                 # Node placement cannot change mid-query (migrations run
@@ -223,6 +234,7 @@ class VectorizedEngine:
             # Never let a pinned epoch outlive the call through engine
             # scratch state.
             self._view = None
+            self._direction = "forward"
 
     def _begin_op(self) -> OperationContext:
         """Open an accounting operation on the live platform, or on the
@@ -233,12 +245,17 @@ class VectorizedEngine:
     def _owners_of(self, nodes: np.ndarray) -> np.ndarray:
         """Owner partition per node (``_UNKNOWN_OWNER`` when unplaced)."""
         if self._view is not None:
+            if self._direction == "reverse":
+                return self._view.reverse_owners_of(nodes)
             return self._view.owners_of(nodes)
         return self._owner_index.owners_of(nodes)
 
     def _snapshot_of(self, partition: int):
-        """Adjacency snapshot of ``partition`` — pinned when a view is set."""
+        """Adjacency snapshot of ``partition`` — pinned when a view is set
+        (the reversed-adjacency capture for reverse plans)."""
         if self._view is not None:
+            if self._direction == "reverse":
+                return self._view.reverse_snapshot_of(partition)
             return self._view.snapshot_of(partition)
         return self._runtime.snapshot_of(partition)
 
@@ -522,11 +539,16 @@ class VectorizedEngine:
         op = self._begin_op()
         dfa = plan.dfa
         accumulate = plan.accumulate_results
-        results: List[Set[int]] = [set() for _ in sources]
+        reverse = plan.direction == "reverse"
+        #: Reverse plans expand the reversed-expression DFA from the
+        #: candidate end nodes; the forward answer is recovered by
+        #: inverting the matches after the plan drains.
+        run_sources = list(plan.reverse.seeds) if reverse else sources
+        results: List[Set[int]] = [set() for _ in run_sources]
         stepper = _DfaStepper(dfa, runtime.label_names)
 
         # Packed-key parameters for this batch (see module docstring).
-        self._row_span = max(1, len(sources))
+        self._row_span = max(1, len(run_sources))
         self._state_span = stepper.num_slots + 1
         self._max_packable_node = (2 ** 62) // (self._row_span * self._state_span)
         #: ``(rows, dsts)`` array pairs accepted while routing (accumulate
@@ -539,12 +561,12 @@ class VectorizedEngine:
 
         def dispatch() -> None:
             frontier, skipped = self._build_initial_frontier(
-                sources, dfa, results, accumulate
+                run_sources, dfa, results, accumulate
             )
             state["frontier"] = frontier
             with op.phase("dispatch"):
                 self._charge_dispatch(op, frontier)
-            op.add_counter("batch_size", len(sources))
+            op.add_counter("batch_size", len(run_sources))
             op.add_counter("unknown_sources", skipped)
             if accumulate and frontier:
                 state["seen"] = _unique(np.concatenate(list(frontier.values())))
@@ -580,6 +602,10 @@ class VectorizedEngine:
             )
             self._accumulated = []
 
+        if reverse:
+            results = invert_reverse_results(
+                sources, plan.reverse.seeds, results
+            )
         stats = op.finish()
         stats.add_counter(
             "results", sum(len(destinations) for destinations in results)

@@ -11,6 +11,8 @@ package provides:
   workload (:mod:`repro.rpq.query`),
 * the logical planner that lowers queries into matrix-based execution
   plans (:mod:`repro.rpq.planner`),
+* the cost-based planner that chooses expansion direction, bounds and
+  backend from frozen epoch statistics (:mod:`repro.rpq.cost_planner`),
 * a reference evaluator used as the correctness oracle for every engine
   (:mod:`repro.rpq.evaluator`).
 """
@@ -25,8 +27,24 @@ from repro.rpq.regex import (
     Union,
     khop_expression,
     parse_path_expression,
+    reverse_expression,
 )
-from repro.rpq.automaton import DFA, EPSILON, NFA, build_dfa, build_nfa, determinize
+from repro.rpq.automaton import (
+    DFA,
+    EPSILON,
+    NFA,
+    build_dfa,
+    build_nfa,
+    determinize,
+    minimize_dfa,
+)
+from repro.rpq.cost_planner import (
+    CostBasedPlanner,
+    GraphCostStats,
+    PlanDecision,
+    accepting_edge_labels,
+    epoch_of_view,
+)
 from repro.rpq.query import (
     BatchResult,
     Context,
@@ -57,12 +75,19 @@ __all__ = [
     "RegexSyntaxError",
     "parse_path_expression",
     "khop_expression",
+    "reverse_expression",
     "NFA",
     "DFA",
     "EPSILON",
     "build_nfa",
     "build_dfa",
     "determinize",
+    "minimize_dfa",
+    "CostBasedPlanner",
+    "GraphCostStats",
+    "PlanDecision",
+    "accepting_edge_labels",
+    "epoch_of_view",
     "RPQuery",
     "KHopQuery",
     "BatchResult",

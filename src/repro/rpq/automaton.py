@@ -263,6 +263,100 @@ def determinize(nfa: NFA) -> DFA:
     return dfa
 
 
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Moore partition refinement with an implicit dead (reject) state.
+
+    Subset construction routinely emits distinguishable-looking but
+    equivalent states (e.g. ``a/c|b/c`` yields separate "after a" and
+    "after b" states).  The product-graph frontier carries one item per
+    ``(node, state)`` pair, so merging equivalent states shrinks every
+    downstream frontier and the DFA-aware fixpoint bound.
+
+    The reject case (``step`` returning ``None``) is modeled as a
+    constant dead block that never splits; it is never materialised in
+    the output.  Block numbering is deterministic: the start state's
+    block is 0, the rest follow in order of their smallest original
+    state id, so minimizing the same DFA always yields the same object.
+    """
+    # Restrict to states reachable from the start; unreachable states
+    # must not influence the partition (and would survive as garbage).
+    reachable: Set[int] = {dfa.start}
+    stack = [dfa.start]
+    while stack:
+        state = stack.pop()
+        targets = list(dfa.transitions.get(state, {}).values())
+        if state in dfa.default:
+            targets.append(dfa.default[state])
+        for target in targets:
+            if target not in reachable:
+                reachable.add(target)
+                stack.append(target)
+    states = sorted(reachable)
+    alphabet = sorted({
+        label
+        for state in states
+        for label in dfa.transitions.get(state, {})
+    })
+
+    DEAD = -1  # signature marker for the implicit reject state
+    block: Dict[int, int] = {
+        state: (1 if state in dfa.accepting else 0) for state in states
+    }
+    while True:
+        signatures: Dict[int, Tuple[int, ...]] = {}
+        for state in states:
+            default_target = dfa.default.get(state)
+            signature = [
+                block[state],
+                block[default_target] if default_target is not None else DEAD,
+            ]
+            for label in alphabet:
+                target = dfa.step(state, label)
+                signature.append(block[target] if target is not None else DEAD)
+            signatures[state] = tuple(signature)
+        renumber: Dict[Tuple[int, ...], int] = {}
+        refined = {}
+        for state in states:
+            refined[state] = renumber.setdefault(
+                signatures[state], len(renumber)
+            )
+        if len(renumber) == len(set(block.values())):
+            break
+        block = refined
+
+    # Deterministic block ids: start first, then by smallest member.
+    members: Dict[int, List[int]] = {}
+    for state in states:
+        members.setdefault(block[state], []).append(state)
+    ordered = sorted(
+        members.values(),
+        key=lambda group: (dfa.start not in group, min(group)),
+    )
+    new_id = {block[group[0]]: index for index, group in enumerate(ordered)}
+
+    minimized = DFA(start=new_id[block[dfa.start]], accepting=set())
+    for group in ordered:
+        representative = min(group)
+        group_id = new_id[block[representative]]
+        if representative in dfa.accepting:
+            minimized.accepting.add(group_id)
+        default_target = dfa.default.get(representative)
+        default_block = None
+        if default_target is not None:
+            default_block = block[default_target]
+            minimized.default[group_id] = new_id[default_block]
+        for label in alphabet:
+            target = dfa.step(representative, label)
+            if target is None:
+                continue
+            if default_block is not None and block[target] == default_block:
+                continue  # the default arc already covers this label
+            minimized.transitions.setdefault(group_id, {})[label] = (
+                new_id[block[target]]
+            )
+    return minimized
+
+
 def build_dfa(expression) -> DFA:
-    """Parse, build the NFA and determinise in one call."""
-    return determinize(build_nfa(expression))
+    """Parse, build the NFA, determinise and minimize in one call."""
+    return minimize_dfa(determinize(build_nfa(expression)))

@@ -22,11 +22,14 @@ ever need the three step types above.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union as TypingUnion
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union as TypingUnion
 
 from repro.rpq.automaton import DFA
 from repro.rpq.query import KHopQuery, RPQuery
 from repro.rpq.regex import ANY_LABEL
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.rpq.cost_planner import PlanDecision
 
 
 @dataclass(frozen=True)
@@ -74,6 +77,16 @@ class LogicalPlan:
     accumulate_results: bool = False
     #: DFA used by the general evaluator (``None`` for pure k-hop plans).
     dfa: Optional[DFA] = None
+    #: Expansion direction: ``"forward"`` walks source-to-destination;
+    #: ``"reverse"`` walks a reversed-expression DFA from candidate end
+    #: nodes and inverts the matches at the end (chosen by the cost-based
+    #: planner when the accepting side of the graph is rarer).
+    direction: str = "forward"
+    #: For reverse plans: the candidate end nodes to expand from (the
+    #: destinations of edges whose label the original DFA can accept on).
+    reverse_seeds: Optional[Tuple[int, ...]] = None
+    #: Cost-planner decision record (``None`` for structure-only plans).
+    decision: Optional["PlanDecision"] = None
 
     @property
     def num_expansions(self) -> int:
@@ -85,6 +98,15 @@ class LogicalPlan:
     def explain(self) -> str:
         """Human-readable plan description (one line per step)."""
         lines = []
+        if self.direction != "forward" or self.decision is not None:
+            seeds = (
+                f", seeds={len(self.reverse_seeds)}"
+                if self.reverse_seeds is not None
+                else ""
+            )
+            lines.append(f"direction: {self.direction}{seeds}")
+        if self.decision is not None:
+            lines.extend(self.decision.explain_lines())
         for index, step in enumerate(self.steps):
             if isinstance(step, ExpandStep):
                 label = "any" if step.label == ANY_LABEL else step.label

@@ -17,7 +17,7 @@ expression, matching the ``ans`` matrix of the paper's Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rpq.automaton import DFA, build_dfa
 from repro.rpq.regex import RegexNode, khop_expression, parse_path_expression
@@ -96,14 +96,33 @@ class RPQuery:
 
     expression: str
     sources: List[int] = field(default_factory=list)
+    #: Memoized ``(expression, ast)`` / ``(expression, dfa)`` pairs:
+    #: parsing and determinization are pure in the expression string, and
+    #: the planner and plan-cache key call both repeatedly per query.
+    #: Keying the cache by the expression keeps mutation safe — reusing a
+    #: query object with a new expression recomputes.
+    _ast_cache: Optional[Tuple[str, RegexNode]] = field(
+        init=False, default=None, repr=False, compare=False
+    )
+    _dfa_cache: Optional[Tuple[str, DFA]] = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def ast(self) -> RegexNode:
-        """Parsed AST of the expression."""
-        return parse_path_expression(self.expression)
+        """Parsed AST of the expression (memoized)."""
+        cached = self._ast_cache
+        if cached is None or cached[0] != self.expression:
+            cached = (self.expression, parse_path_expression(self.expression))
+            self._ast_cache = cached
+        return cached[1]
 
     def dfa(self) -> DFA:
-        """Deterministic automaton of the expression."""
-        return build_dfa(self.expression)
+        """Deterministic automaton of the expression (memoized)."""
+        cached = self._dfa_cache
+        if cached is None or cached[0] != self.expression:
+            cached = (self.expression, build_dfa(self.expression))
+            self._dfa_cache = cached
+        return cached[1]
 
     def is_fixed_length(self) -> bool:
         """Whether every matched path has the same number of edges."""

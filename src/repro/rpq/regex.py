@@ -149,10 +149,17 @@ def _tokenize(expression: str) -> List[str]:
             index += 1
             continue
         if char == "_":
-            tokens.append(ANY_LABEL)
-            index += 1
-            continue
-        if char.isalnum() or char in "-:$":
+            # A *bare* underscore is the SPARQL-style wildcard; an
+            # underscore followed by an identifier character starts a
+            # label (``_foo`` names a label, it is not ``./foo``).  The
+            # start set must mirror the continuation set below or
+            # leading-underscore labels silently change meaning.
+            next_char = expression[index + 1] if index + 1 < len(expression) else ""
+            if not (next_char.isalnum() or next_char in set("-_:$")):
+                tokens.append(ANY_LABEL)
+                index += 1
+                continue
+        if char.isalnum() or char in "-_:$":
             start = index
             while index < len(expression) and (
                 expression[index].isalnum() or expression[index] in "-_:$"
@@ -303,6 +310,32 @@ def parse_path_expression(expression: str) -> RegexNode:
             f"trailing tokens after position {parser._position} in {expression!r}"
         )
     return node
+
+
+def reverse_expression(node: RegexNode) -> RegexNode:
+    """The AST matching exactly the reversed label sequences of ``node``.
+
+    ``L(reverse(e)) == {reversed(w) for w in L(e)}``: concatenations flip
+    their part order (and reverse each part), unions and repetitions
+    distribute over reversal, and single labels are their own reverse.
+    The cost-based planner uses this to build the automaton for
+    reverse-direction (destination-to-source) expansion.
+    """
+    if isinstance(node, Label):
+        return node
+    if isinstance(node, Concat):
+        return Concat(tuple(
+            reverse_expression(part) for part in reversed(node.parts)
+        ))
+    if isinstance(node, Union):
+        return Union(tuple(
+            reverse_expression(option) for option in node.options
+        ))
+    if isinstance(node, Repeat):
+        return Repeat(
+            reverse_expression(node.inner), node.minimum, node.maximum
+        )
+    raise TypeError(f"unknown regex node {node!r}")
 
 
 def khop_expression(hops: int) -> str:

@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.snapshot import GraphSnapshot
+from repro.core.snapshot import GraphSnapshot, build_snapshot
 from repro.partition.base import HOST_PARTITION
 from repro.partition.owner_index import OwnerIndex
 from repro.pim.system import PIMSystem
@@ -56,6 +56,8 @@ class Epoch:
         "num_edges",
         "num_modules",
         "_degree_histogram",
+        "_label_edge_counts",
+        "_reverse_index",
     )
 
     def __init__(
@@ -73,6 +75,10 @@ class Epoch:
         self.num_edges = num_edges
         self.num_modules = len(snapshots) - 1
         self._degree_histogram: Optional[np.ndarray] = None
+        self._label_edge_counts: Optional[Dict[int, int]] = None
+        self._reverse_index: Optional[
+            Tuple[Tuple[GraphSnapshot, ...], Dict[int, int]]
+        ] = None
 
     def degree_histogram(self) -> np.ndarray:
         """Out-degree histogram across every pinned snapshot (cached).
@@ -94,6 +100,116 @@ class Epoch:
             histogram.flags.writeable = False
             self._degree_histogram = histogram
         return histogram
+
+    def label_edge_counts(self) -> Dict[int, int]:
+        """Edge count per label id across every pinned snapshot (cached).
+
+        Feeds the cost-based planner's per-label fanout estimates: the
+        expected frontier growth of an ``smxm`` step filtered to label
+        ``l`` is ``count[l] / total_rows`` per frontier node.
+        """
+        counts = self._label_edge_counts
+        if counts is None:
+            counts = {}
+            for snapshot in self.snapshots:
+                if len(snapshot.labels) == 0:
+                    continue
+                values, occurrences = np.unique(
+                    snapshot.labels, return_counts=True
+                )
+                for value, occurrence in zip(
+                    values.tolist(), occurrences.tolist()
+                ):
+                    counts[value] = counts.get(value, 0) + occurrence
+            self._label_edge_counts = counts
+        return counts
+
+    def reverse_index(
+        self,
+    ) -> Tuple[Tuple[GraphSnapshot, ...], Dict[int, int]]:
+        """Reversed-adjacency snapshots of this epoch (cached, lazy).
+
+        Returns ``(snapshots, extra_owners)``: per-partition CSR captures
+        whose row for node ``v`` lists ``v``'s *in*-edges ``(u, label)``,
+        in the same module/host layout as the forward snapshots.  A
+        reversed row lands on its node's owner so reverse expansion
+        charges the same placement-sensitive routing as forward
+        expansion; nodes that only ever appeared as destinations have no
+        owner, so they get the session layer's deterministic provisional
+        placement (``node % num_modules``), recorded in ``extra_owners``.
+
+        The build is a one-off O(edges) pass per epoch, shared by every
+        reader of the epoch afterwards (the arrays are frozen).  This is
+        the ``TransposedBlock`` idea lifted from per-snapshot blocks to a
+        whole epoch, which is what the planner's reverse direction
+        executes against.
+        """
+        cached = self._reverse_index
+        if cached is None:
+            in_rows: Dict[int, List[Tuple[int, int]]] = {}
+            for snapshot in self.snapshots:
+                if len(snapshot.dsts) == 0:
+                    continue
+                srcs = np.repeat(snapshot.node_ids, np.diff(snapshot.indptr))
+                for dst, src, label in zip(
+                    snapshot.dsts.tolist(),
+                    srcs.tolist(),
+                    snapshot.labels.tolist(),
+                ):
+                    in_rows.setdefault(dst, []).append((src, label))
+            extra_owners: Dict[int, int] = {}
+            per_partition: Dict[int, List[Tuple[int, List[Tuple[int, int]]]]] = {}
+            for node, entries in in_rows.items():
+                owner = self.owner(node)
+                if owner is None:
+                    owner = node % max(1, self.num_modules)
+                    extra_owners[node] = owner
+                per_partition.setdefault(owner, []).append((node, entries))
+            partitions = list(range(self.num_modules)) + [HOST_PARTITION]
+            reversed_snapshots = []
+            for partition in partitions:
+                base = self.snapshot_of(partition)
+                rows = per_partition.get(partition, [])
+                entry_count = sum(len(entries) for _, entries in rows)
+                reversed_snapshots.append(
+                    build_snapshot(
+                        rows,
+                        bytes_per_entry=base.bytes_per_entry,
+                        working_set_bytes=max(
+                            1, entry_count * base.bytes_per_entry
+                        ),
+                        count_local=(partition != HOST_PARTITION),
+                    ).freeze()
+                )
+            cached = (tuple(reversed_snapshots), extra_owners)
+            self._reverse_index = cached
+        return cached
+
+    def reverse_snapshot_of(self, partition: int) -> GraphSnapshot:
+        """Reversed-adjacency snapshot of ``partition``."""
+        snapshots, _ = self.reverse_index()
+        if partition == HOST_PARTITION:
+            return snapshots[self.num_modules]
+        return snapshots[partition]
+
+    def reverse_owner(self, node: int) -> Optional[int]:
+        """Owner of ``node``'s reversed row (provisional for dst-only nodes)."""
+        owner = self.owner(node)
+        if owner is not None:
+            return owner
+        _, extra_owners = self.reverse_index()
+        return extra_owners.get(node)
+
+    def reverse_owners_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized owner lookup against the reversed index."""
+        owners = np.array(self.owners_of(nodes), copy=True)
+        _, extra_owners = self.reverse_index()
+        if extra_owners:
+            for position in np.flatnonzero(owners == OwnerIndex.UNKNOWN).tolist():
+                owners[position] = extra_owners.get(
+                    int(nodes[position]), OwnerIndex.UNKNOWN
+                )
+        return owners
 
     def snapshot_of(self, partition: int) -> GraphSnapshot:
         """Pinned snapshot of ``partition`` (``HOST_PARTITION`` = host)."""
@@ -149,6 +265,27 @@ class EpochView:
     def epoch_id(self) -> int:
         """Identifier of the pinned epoch."""
         return self.epoch.epoch_id
+
+    def is_patched(self) -> bool:
+        """Whether the view overlays session-local (uncommitted) state.
+
+        Patched views are invisible to the epoch-keyed plan/result
+        caches and to reverse-direction planning — both are only sound
+        against the epoch's frozen, shared state.
+        """
+        return bool(self._patched) or bool(self._extra_owners)
+
+    def reverse_snapshot_of(self, partition: int) -> GraphSnapshot:
+        """Reversed-adjacency snapshot (epoch-level; never patched)."""
+        return self.epoch.reverse_snapshot_of(partition)
+
+    def reverse_owner(self, node: int) -> Optional[int]:
+        """Owner of ``node``'s reversed row at the pinned epoch."""
+        return self.epoch.reverse_owner(node)
+
+    def reverse_owners_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized reversed-row owner lookup at the pinned epoch."""
+        return self.epoch.reverse_owners_of(nodes)
 
     def snapshot_of(self, partition: int) -> GraphSnapshot:
         """Pinned (possibly session-patched) snapshot of ``partition``."""

@@ -92,3 +92,54 @@ def test_exhaustive_agreement_over_short_strings():
                     expression,
                     labels,
                 )
+
+
+def test_minimize_reduces_equivalent_suffix_states():
+    from repro.rpq import minimize_dfa
+
+    # ``a/c | b/c`` determinizes into separate mid states for the ``a``
+    # and ``b`` branches even though both only await a final ``c``;
+    # Moore refinement must merge them.
+    unminimized = determinize(build_nfa("a/c|b/c"))
+    minimized = minimize_dfa(unminimized)
+    assert minimized.num_states < unminimized.num_states
+    assert minimized.num_states == 3
+
+
+def test_minimize_preserves_language():
+    from repro.rpq import minimize_dfa
+
+    alphabet = ["a", "b", "c"]
+    expressions = (
+        "a/c|b/c", "(a|b)*", "a{1,3}", "a/(b|c)/d", ".{2}", "a+|b+",
+        "(a/b)+", "a?", "_/c",
+    )
+    for expression in expressions:
+        unminimized = determinize(build_nfa(expression))
+        minimized = minimize_dfa(unminimized)
+        for length in range(0, 5):
+            for labels in itertools.product(alphabet, repeat=length):
+                assert unminimized.matches(list(labels)) == minimized.matches(
+                    list(labels)
+                ), (expression, labels)
+
+
+def test_build_dfa_returns_minimized_automaton():
+    from repro.rpq import minimize_dfa
+
+    dfa = build_dfa("a/c|b/c")
+    assert dfa.num_states == minimize_dfa(dfa).num_states == 3
+
+
+def test_minimize_drops_unreachable_states():
+    from repro.rpq import DFA, minimize_dfa
+
+    dfa = DFA(
+        start=0,
+        accepting={1, 9},
+        transitions={0: {"a": 1}, 5: {"b": 9}},
+    )
+    minimized = minimize_dfa(dfa)
+    assert minimized.num_states == 2
+    assert minimized.matches(["a"])
+    assert not minimized.matches(["b"])

@@ -109,3 +109,47 @@ def test_malformed_expressions_raise(expression):
 def test_unexpected_character_raises():
     with pytest.raises(RegexSyntaxError):
         parse_path_expression("a@b")
+
+
+def test_bare_underscore_is_wildcard():
+    node = parse_path_expression("_")
+    assert isinstance(node, Label)
+    assert node.is_wildcard
+
+
+def test_leading_underscore_starts_an_identifier():
+    # Regression: the tokenizer used to treat *any* ``_`` as the
+    # wildcard, so ``_foo`` silently parsed as ``./foo``.
+    node = parse_path_expression("_foo")
+    assert isinstance(node, Label)
+    assert node.name == "_foo"
+    assert not node.is_wildcard
+    assert node.fixed_length() == 1
+
+
+def test_interior_underscore_identifiers():
+    node = parse_path_expression("foo_bar/_private")
+    assert isinstance(node, Concat)
+    assert [part.name for part in node.parts] == ["foo_bar", "_private"]
+    assert not any(part.is_wildcard for part in node.parts)
+
+
+def test_underscore_then_operator_is_wildcard():
+    # ``_`` only starts an identifier when an identifier character
+    # follows; before an operator it is still the SPARQL-style wildcard.
+    node = parse_path_expression("_/knows")
+    assert isinstance(node, Concat)
+    assert node.parts[0].is_wildcard
+    assert node.parts[1].name == "knows"
+
+
+def test_reverse_expression_round_trip():
+    from repro.rpq import reverse_expression
+
+    chain = parse_path_expression("a/b/c")
+    reversed_chain = reverse_expression(chain)
+    assert [part.name for part in reversed_chain.parts] == ["c", "b", "a"]
+    # An involution: reversing twice restores the original shape.
+    assert reverse_expression(reversed_chain) == chain
+    nested = parse_path_expression("(a/b|c)+/d")
+    assert reverse_expression(reverse_expression(nested)) == nested
