@@ -1,0 +1,286 @@
+"""Network serving benchmark: wire-level parity, throughput and tails.
+
+The asyncio front-end must add a socket, not a behaviour: answers served
+over TCP have to be **bit-identical** to direct
+:class:`~repro.serve.scheduler.BatchScheduler` calls — destinations and
+the full simulated :class:`~repro.pim.stats.ExecutionStats`, compared in
+wire form — and the protocol/event-loop overhead must not grow a fat
+latency tail.  Two phases:
+
+``parity`` (untimed)
+    one client replays a query population over the wire and through a
+    direct scheduler on the same epoch; every answer (destinations *and*
+    ``stats_to_wire`` rendering) must match exactly.
+``closed-loop`` (timed)
+    4 client threads, each its own connection, issue single-source
+    queries closed-loop (one in flight per client) after an untimed
+    warmup; the report carries throughput plus p50/p99 latency, and the
+    smoke gate requires ``p99 <= REPRO_BENCH_NET_MAX_TAIL_RATIO * p50``
+    (default 5x).
+
+Server logs land in ``bench_net_server.log`` (CI uploads it on
+failure).
+
+Run styles::
+
+    python -m pytest benchmarks/bench_net.py -q -s    # smoke
+    python benchmarks/bench_net.py                    # table
+    python benchmarks/bench_net.py --json BENCH_net.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench import format_table  # noqa: E402
+from repro.core import Moctopus, MoctopusConfig  # noqa: E402
+from repro.graph import random_graph  # noqa: E402
+from repro.net import MoctopusClient, MoctopusServer  # noqa: E402
+from repro.net.protocol import stats_to_wire  # noqa: E402
+from repro.pim import CostModel  # noqa: E402
+
+#: Tail-latency bar: p99 must stay within this multiple of p50 (CI
+#: overrides via the environment).
+MAX_TAIL_RATIO = float(
+    os.environ.get("REPRO_BENCH_NET_MAX_TAIL_RATIO", "5.0")
+)
+
+NUM_CLIENTS = 4
+HOPS = 2
+LOG_PATH = os.environ.get("REPRO_BENCH_NET_LOG", "bench_net_server.log")
+
+
+def _sizes() -> Tuple[int, int, int]:
+    """(nodes, edges, timed queries per client) honoring env knobs."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    per_client = int(os.environ.get("REPRO_BENCH_NET_QUERIES", "100"))
+    return int(4000 * scale), int(16000 * scale), per_client
+
+
+def _build_system(num_nodes: int, num_edges: int) -> Moctopus:
+    config = MoctopusConfig(
+        cost_model=CostModel(num_modules=16),
+        engine="vectorized",
+    )
+    system = Moctopus.from_graph(
+        random_graph(num_nodes, num_edges, seed=13), config
+    )
+    # Prime CSR bases / engine caches outside the timed region.
+    system.batch_khop(list(range(64)), HOPS, auto_migrate=False)
+    return system
+
+
+def _attach_server_log() -> logging.Logger:
+    logger = logging.getLogger("repro.net.server.bench")
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    handler = logging.FileHandler(LOG_PATH, mode="w", encoding="utf-8")
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(message)s")
+    )
+    logger.addHandler(handler)
+    return logger
+
+
+def _client_sources(client: int, count: int, num_nodes: int) -> List[int]:
+    return [
+        (client * 7919 + index * 104729) % num_nodes for index in range(count)
+    ]
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[rank]
+
+
+def _run_parity(
+    system: Moctopus, server: MoctopusServer, num_nodes: int
+) -> int:
+    """Wire answers must be bit-identical to direct scheduler answers."""
+    population: List[Tuple[str, int, object]] = []
+    for index in range(24):
+        population.append(("khop", (index * 104729) % num_nodes, HOPS))
+    for index in range(8):
+        population.append(("rpq", (index * 7919) % num_nodes, ".{2}"))
+    mismatches = 0
+    with MoctopusClient("127.0.0.1", server.port) as client:
+        with system.serve() as direct:
+            for kind, source, detail in population:
+                if kind == "khop":
+                    wire = client.khop(source, detail, timeout=60)
+                    expect = direct.submit(source, detail).outcome(timeout=60)
+                else:
+                    wire = client.rpq(source, detail, timeout=60)
+                    expect = direct.submit_rpq(source, detail).outcome(
+                        timeout=60
+                    )
+                expect_wire = (expect[0], stats_to_wire(expect[1]))
+                if wire != expect_wire:
+                    mismatches += 1
+    if mismatches:
+        raise AssertionError(
+            f"{mismatches}/{len(population)} wire answers differ from "
+            "direct scheduler answers"
+        )
+    return len(population)
+
+
+def _run_closed_loop(
+    server: MoctopusServer, per_client: int, num_nodes: int
+) -> Tuple[float, List[float]]:
+    """4 closed-loop clients; returns (elapsed seconds, latencies)."""
+    latencies: List[List[float]] = [[] for _ in range(NUM_CLIENTS)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(NUM_CLIENTS + 1)
+
+    def run_client(client_id: int) -> None:
+        sources = _client_sources(client_id, per_client, num_nodes)
+        try:
+            with MoctopusClient("127.0.0.1", server.port) as client:
+                for source in sources[: max(4, per_client // 10)]:
+                    client.khop(source, HOPS, timeout=60)  # warmup, untimed
+                barrier.wait()
+                for source in sources:
+                    begin = time.perf_counter()
+                    client.khop(source, HOPS, timeout=60)
+                    latencies[client_id].append(time.perf_counter() - begin)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=run_client, args=(client_id,))
+        for client_id in range(NUM_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # every client warmed up; start the clock together
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"client failed during closed loop: {errors[0]!r}")
+    return elapsed, sorted(lat for per in latencies for lat in per)
+
+
+def run_sweep(verbose: bool = True) -> Dict[str, object]:
+    num_nodes, num_edges, per_client = _sizes()
+    system = _build_system(num_nodes, num_edges)
+    logger = _attach_server_log()
+    server = MoctopusServer(system, port=0, logger=logger).start()
+    try:
+        parity_queries = _run_parity(system, server, num_nodes)
+        elapsed, latencies = _run_closed_loop(server, per_client, num_nodes)
+        metrics = server.metrics.snapshot()
+    finally:
+        server.close()
+    total = len(latencies)
+    throughput = total / elapsed if elapsed > 0 else 0.0
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    tail_ratio = (p99 / p50) if p50 > 0 else 0.0
+    if metrics["queries_answered"] < total + parity_queries:
+        raise AssertionError(
+            "server answered fewer queries than the clients issued"
+        )
+    if verbose:
+        print()
+        print(
+            f"network serving: {num_nodes} nodes / {num_edges} edges, "
+            f"{NUM_CLIENTS} closed-loop clients x {per_client} "
+            f"single-source {HOPS}-hop queries "
+            f"(+{parity_queries} parity queries, untimed)"
+        )
+        rows = [
+            (
+                "closed-loop",
+                f"{elapsed * 1000:.1f}",
+                f"{throughput:.0f}",
+                f"{p50 * 1000:.2f}",
+                f"{p99 * 1000:.2f}",
+            )
+        ]
+        print(
+            format_table(
+                ["phase", "wall-clock (ms)", "queries/s", "p50 (ms)",
+                 "p99 (ms)"],
+                rows,
+            )
+        )
+        print(
+            f"tail ratio p99/p50 = {tail_ratio:.2f} "
+            f"(required <= {MAX_TAIL_RATIO:.1f}); wire parity held on "
+            f"{parity_queries} queries"
+        )
+    return {
+        "workload": {
+            "nodes": num_nodes,
+            "edges": num_edges,
+            "clients": NUM_CLIENTS,
+            "queries_per_client": per_client,
+            "hops": HOPS,
+        },
+        "parity_queries": parity_queries,
+        "elapsed_seconds": elapsed,
+        "throughput_qps": throughput,
+        "latency_p50_seconds": p50,
+        "latency_p99_seconds": p99,
+        "tail_ratio": tail_ratio,
+        "max_tail_ratio_required": MAX_TAIL_RATIO,
+        "server_metrics": metrics,
+    }
+
+
+def test_network_serving_parity_and_tail():
+    """Smoke gate: wire parity holds and p99 stays within the tail bar."""
+    report = run_sweep(verbose=True)
+    assert report["tail_ratio"] <= MAX_TAIL_RATIO, (
+        f"p99/p50 tail ratio {report['tail_ratio']:.2f} above the "
+        f"{MAX_TAIL_RATIO:.1f}x bar"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the report as JSON to PATH"
+    )
+    args = parser.parse_args()
+    report = run_sweep(verbose=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+    if report["tail_ratio"] > MAX_TAIL_RATIO:
+        print(
+            f"FAIL: tail ratio {report['tail_ratio']:.2f} above "
+            f"{MAX_TAIL_RATIO:.1f}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

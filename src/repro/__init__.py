@@ -46,6 +46,13 @@ It contains:
     a read-your-writes overlay, and a bounded batch scheduler that
     coalesces concurrent client queries into engine-level batches.
 
+``repro.net``
+    The asyncio network front-end: a TCP server speaking a
+    length-prefixed JSON frame protocol that feeds remote clients into
+    the batch scheduler, with per-client and server-wide admission
+    control, per-request timeouts, graceful draining shutdown, and a
+    metrics surface (STATS frame + ``GET /metrics`` text scrape).
+
 ``repro.baselines``
     The two comparison systems from the paper's evaluation: a
     RedisGraph-like single-node GraphBLAS engine and the PIM-hash scheme.

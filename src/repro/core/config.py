@@ -19,12 +19,17 @@ ablations can sweep them:
   ``snapshot_incremental``) controlling how the storages refresh their
   cached CSR views between updates and queries;
 * the serving-layer knobs (``epoch_retention``, ``serve_queue_depth``,
-  ``serve_batch_window``, ``serve_workers``,
+  ``serve_batch_window``, ``serve_linger``, ``serve_workers``,
   ``serve_worker_start_method``) controlling how many published epochs
   stay registered for lagging readers, how the batch scheduler admits
   and coalesces concurrent client queries, and whether coalesced
   batches fan out across worker *processes* over shared-memory epoch
   exports (:mod:`repro.parallel`);
+* the network front-end knobs (``net_host``, ``net_port``,
+  ``net_auth_token``, ``net_max_inflight_per_client``,
+  ``net_request_timeout``) controlling where ``Moctopus.listen()``
+  binds, the HELLO handshake secret, and the per-client admission
+  bounds and request timeouts of :mod:`repro.net`;
 * the durability knobs (``durability_dir``, ``wal_segment_bytes``,
   ``checkpoint_interval_batches``, ``wal_fsync``) controlling the
   write-ahead log and checkpoint lifecycle of
@@ -116,6 +121,28 @@ class MoctopusConfig:
     #: ``multiprocessing`` start method for pool workers: ``None``
     #: auto-selects (``fork`` where available, else ``spawn``).
     serve_worker_start_method: Optional[str] = None
+    #: How long (seconds) a scheduler drain waits for stragglers to fill
+    #: its coalescing window once the first query of a window arrived.
+    #: ``0`` (the default) drains whatever is queued immediately —
+    #: lowest latency; a small linger (e.g. ``0.002``) trades latency
+    #: for larger coalesced batches under bursty traffic.
+    serve_linger: float = 0.0
+    #: Bind host of the network front-end (``Moctopus.listen()``).
+    net_host: str = "127.0.0.1"
+    #: Bind port of the network front-end; ``0`` picks an ephemeral port
+    #: (read it back from ``server.port``).
+    net_port: int = 0
+    #: Shared-secret auth token the HELLO handshake must present.
+    #: ``None`` (the default) accepts any client.
+    net_auth_token: Optional[str] = None
+    #: Per-connection cap on queries in flight: a client exceeding it
+    #: receives BUSY frames (admission control at the socket boundary)
+    #: instead of buffering without bound.
+    net_max_inflight_per_client: int = 32
+    #: Per-request timeout (seconds) the server enforces on every QUERY:
+    #: a query not answered in time gets an ERROR(timeout) frame and its
+    #: eventual result is discarded.
+    net_request_timeout: float = 30.0
     #: Root directory of the durability subsystem (write-ahead log +
     #: checkpoints).  ``None`` (the default) keeps the system memory-only;
     #: set a path to make every bulk load, update batch and migration
@@ -193,6 +220,14 @@ class MoctopusConfig:
                 "serve_worker_start_method must be None, 'fork', 'spawn' "
                 f"or 'forkserver', got {self.serve_worker_start_method!r}"
             )
+        if self.serve_linger < 0:
+            raise ValueError("serve_linger must be >= 0 seconds")
+        if not 0 <= self.net_port <= 65535:
+            raise ValueError("net_port must be in [0, 65535]")
+        if self.net_max_inflight_per_client < 1:
+            raise ValueError("net_max_inflight_per_client must be >= 1")
+        if self.net_request_timeout <= 0:
+            raise ValueError("net_request_timeout must be > 0 seconds")
         if self.wal_segment_bytes < 1024:
             raise ValueError("wal_segment_bytes must be >= 1024")
         if self.checkpoint_interval_batches < 0:

@@ -163,8 +163,17 @@ class QueryProcessor:
                 if cached is not None:
                     self._result_cache.move_to_end(result_key)
                     self.cache_stats.add_counter("result_cache_hits")
-                    return copy.deepcopy(cached)
-                self.cache_stats.add_counter("result_cache_misses")
+                else:
+                    self.cache_stats.add_counter("result_cache_misses")
+            if cached is not None:
+                # The O(result-size) replay copy runs *outside* the
+                # lock: entries are immutable by convention (only ever
+                # deep-copied), so concurrent epoch-pinned readers
+                # hitting the cache copy in parallel instead of
+                # serializing behind each other's copies.  The local
+                # reference keeps the entry alive even if LRU eviction
+                # drops it mid-copy.
+                return copy.deepcopy(cached)
         if engine is None:
             engine = create_engine(engine_name, self._runtime)
         outcome = engine.execute(physical, query.sources, view=view)

@@ -49,6 +49,7 @@ from repro.rpq.query import BatchResult, KHopQuery, RPQuery
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.durability import DurabilityController
+    from repro.net.server import MoctopusServer
     from repro.serve.scheduler import BatchScheduler
     from repro.serve.session import Session
 
@@ -455,6 +456,30 @@ class Moctopus:
         if parallel is None:
             parallel = self.config.serve_workers
         return BatchScheduler(self, engine=engine, parallel=parallel, **kwargs)
+
+    def listen(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        **kwargs,
+    ) -> "MoctopusServer":
+        """Serve queries over TCP: start a network front-end.
+
+        Creates a :class:`~repro.net.server.MoctopusServer` (which owns
+        its own :meth:`serve` scheduler) and starts it on a background
+        event-loop thread.  ``host``/``port`` default from the
+        ``net_host``/``net_port`` config knobs (``port=0`` binds an
+        ephemeral port, readable as ``server.port``); remaining keyword
+        arguments — ``auth_token``, ``max_inflight_per_client``,
+        ``request_timeout``, ``engine``, ``parallel`` — are forwarded to
+        the server constructor.  Close the returned server (or use it as
+        a context manager) when done; shutdown answers every in-flight
+        query before closing sockets.
+        """
+        from repro.net.server import MoctopusServer
+
+        server = MoctopusServer(self, host=host, port=port, **kwargs)
+        return server.start()
 
     @property
     def current_epoch_id(self) -> int:

@@ -31,15 +31,16 @@ neither stall nor collapse the drain window.
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.engine.base import ENGINE_NAMES, create_engine
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import PIMSystem
-from repro.rpq.query import KHopQuery
+from repro.rpq.query import KHopQuery, RPQuery
 from repro.serve.epoch import EpochView
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -56,6 +57,11 @@ class ResultGate:
     First outcome wins (the close/submit race resolves to whichever
     settles first); waiting re-raises a failure.  Subclasses define the
     payload shape and the public accessors.
+
+    A waiter that times out simply abandons the gate: a later outcome is
+    recorded but never delivered to that caller (and is still available
+    to any other waiter), so a timed-out client can be answered by a
+    slow batch without crashing anything.
     """
 
     def __init__(self, pending: str = "result") -> None:
@@ -63,38 +69,109 @@ class ResultGate:
         self._payload = None
         self._error: Optional[BaseException] = None
         self._pending = pending
+        #: Guards the settle-once transition and the callback list; held
+        #: only for pointer swaps, never while running callbacks.
+        self._gate_lock = threading.Lock()
+        self._callbacks: List[Callable[["ResultGate"], None]] = []
 
     def _settle(self, payload) -> None:
-        if self._event.is_set():
-            return  # first outcome wins
-        self._payload = payload
-        self._event.set()
+        with self._gate_lock:
+            if self._event.is_set():
+                return  # first outcome wins
+            self._payload = payload
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
 
     def _fail(self, error: BaseException) -> None:
-        if self._event.is_set():
-            return
-        self._error = error
-        self._event.set()
+        with self._gate_lock:
+            if self._event.is_set():
+                return
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(
+        self, callback: Callable[["ResultGate"], None]
+    ) -> None:
+        """Run ``callback(self)`` once an outcome is recorded.
+
+        Invoked immediately when the gate is already settled, otherwise
+        from whichever thread settles it — the bridge an event loop uses
+        (``loop.call_soon_threadsafe`` inside the callback) to await a
+        threaded future without blocking a loop thread per query.
+        """
+        with self._gate_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         """Whether an outcome (answer or failure) has been recorded."""
         return self._event.is_set()
 
+    def _replicate_error(self) -> BaseException:
+        """A per-waiter copy of the recorded failure.
+
+        One failed batch fans out to every waiter of the group; raising
+        the *shared* instance from concurrent ``_wait`` calls would make
+        unrelated threads race on its ``__traceback__``.  Each waiter
+        therefore gets a fresh copy chained (``__cause__``) to the
+        original; exceptions that refuse to copy fall back to the shared
+        instance rather than masking the failure.
+        """
+        error = self._error
+        try:
+            replica = copy.copy(error)
+        except Exception:  # pragma: no cover - exotic uncopyable errors
+            return error
+        if replica is error or type(replica) is not type(error):
+            return error  # pragma: no cover - copy() no-op'd
+        replica.__traceback__ = None
+        return replica
+
     def _wait(self, timeout: Optional[float]):
         if not self._event.wait(timeout):
             raise TimeoutError(f"{self._pending} not answered within timeout")
         if self._error is not None:
-            raise self._error
+            replica = self._replicate_error()
+            if replica is self._error:  # pragma: no cover - fallback path
+                raise self._error
+            raise replica from self._error
         return self._payload
 
 
 class ServingFuture(ResultGate):
-    """Handle for one admitted query; resolves when its batch executes."""
+    """Handle for one admitted query; resolves when its batch executes.
 
-    def __init__(self, source: int, hops: int) -> None:
+    Carries either a hop count (the paper's k-hop workload) or a path
+    expression (general RPQs); the scheduler coalesces futures with the
+    same :attr:`group_key` into one engine-level batch.
+    """
+
+    def __init__(
+        self,
+        source: int,
+        hops: Optional[int] = None,
+        expression: Optional[str] = None,
+    ) -> None:
         super().__init__(pending="query")
+        if (hops is None) == (expression is None):
+            raise ValueError("exactly one of hops/expression is required")
         self.source = source
         self.hops = hops
+        self.expression = expression
+
+    @property
+    def group_key(self) -> Tuple[str, object]:
+        """Coalescing key: queries with equal keys share one batch."""
+        if self.expression is not None:
+            return ("rpq", self.expression)
+        return ("khop", self.hops)
 
     def _resolve(self, destinations: Set[int], stats: ExecutionStats) -> None:
         self._settle((destinations, stats))
@@ -123,7 +200,7 @@ class BatchScheduler:
         queue_depth: Optional[int] = None,
         autostart: bool = True,
         parallel: Optional[int] = None,
-        linger: float = 0.0,
+        linger: Optional[float] = None,
     ) -> None:
         self._system = system
         config = system.config
@@ -131,6 +208,8 @@ class BatchScheduler:
             batch_window = config.serve_batch_window
         if queue_depth is None:
             queue_depth = config.serve_queue_depth
+        if linger is None:
+            linger = config.serve_linger
         if batch_window < 1 or queue_depth < 1:
             raise ValueError("batch_window and queue_depth must be >= 1")
         if linger < 0:
@@ -152,19 +231,22 @@ class BatchScheduler:
         #: or sessions.  ``None`` in pool mode (workers own both).
         self._engine = None
         self._pim = None
+        #: Backend name for in-process group execution (also the lazy
+        #: fallback pool mode uses for expression groups, which the
+        #: k-hop-only workers don't execute).
+        self._engine_name = engine or system.engine_name
+        if self._engine_name not in ENGINE_NAMES:
+            # Fail fast on a bad engine name *before* any threads start
+            # or processes fork: an invalid name surfacing later (inside
+            # a worker) would leak resources this constructor could no
+            # longer close.
+            raise ValueError(
+                f"unknown execution engine {self._engine_name!r}; expected "
+                f"one of {ENGINE_NAMES}"
+            )
         if parallel is None:
             parallel = 0
         if parallel:
-            # Fail fast on a bad engine name *before* any processes
-            # fork: an invalid name surfacing later (inside a worker)
-            # would leak the pool this constructor could no longer
-            # close.
-            engine_name = engine or system.engine_name
-            if engine_name not in ENGINE_NAMES:
-                raise ValueError(
-                    f"unknown execution engine {engine_name!r}; expected "
-                    f"one of {ENGINE_NAMES}"
-                )
             # Imported lazily: repro.parallel sits above repro.serve.
             from repro.parallel.pool import WorkerPool
 
@@ -182,12 +264,13 @@ class BatchScheduler:
             )
             self._gatherer.start()
         else:
-            # In-process mode only: pool mode executes on the workers'
-            # engines and accounts on the pool's platform, so building
-            # these there would be dead (and misleading) state.
+            # In-process mode only: pool mode executes k-hop windows on
+            # the workers' engines and accounts on the pool's platform,
+            # so these stay unbuilt there (created lazily only if an
+            # expression group arrives, which workers don't execute).
             self._pim = PIMSystem(config.cost_model)
             self._engine = create_engine(
-                engine or system.engine_name,
+                self._engine_name,
                 system._query_processor._runtime,
             )
         self._closed = threading.Event()
@@ -224,9 +307,33 @@ class BatchScheduler:
         With ``block=False`` (or on timeout) a full queue raises
         :class:`SchedulerSaturated` — the bounded-admission contract.
         """
+        return self._admit(ServingFuture(source, hops=hops), block, timeout)
+
+    def submit_rpq(
+        self,
+        source: int,
+        expression: str,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> ServingFuture:
+        """Admit one single-source regular path query.
+
+        Queries with the same expression coalesce into one engine-level
+        :class:`~repro.rpq.query.RPQuery` batch, exactly as equal-hops
+        k-hop queries do.  The expression is parsed here so a syntax
+        error surfaces synchronously at the caller, not inside the drain
+        thread.
+        """
+        RPQuery(expression=expression).ast()  # validate eagerly
+        return self._admit(
+            ServingFuture(source, expression=expression), block, timeout
+        )
+
+    def _admit(
+        self, future: ServingFuture, block: bool, timeout: Optional[float]
+    ) -> ServingFuture:
         if self._closed.is_set():
             raise RuntimeError("scheduler is closed")
-        future = ServingFuture(source, hops)
         try:
             self._queue.put(future, block=block, timeout=timeout)
         except queue.Full:
@@ -243,6 +350,11 @@ class BatchScheduler:
     def query(self, source: int, hops: int) -> Set[int]:
         """Blocking convenience wrapper: submit and wait for the answer."""
         return self.submit(source, hops).result()
+
+    @property
+    def pending(self) -> int:
+        """Admitted queries waiting in the queue (approximate gauge)."""
+        return self._queue.qsize()
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
         """Stop the worker after draining already-admitted queries.
@@ -348,30 +460,31 @@ class BatchScheduler:
                 return
 
     def _execute_window(self, window: List[ServingFuture]) -> None:
-        """Group a drained window by hop count and run one batch each.
+        """Group a drained window by query shape and run one batch each.
 
         In-process mode executes the groups back to back on this
-        thread; with a worker pool the groups are *scattered* first —
-        one task per hops-group, round-robin across the workers, all in
-        flight at once — and gathered in submission order, so the
+        thread; with a worker pool the k-hop groups are *scattered*
+        first — one task per group, round-robin across the workers, all
+        in flight at once — and gathered in submission order, so the
         window's groups execute concurrently on separate processes.
+        Expression (RPQ) groups always run in-process: the pool protocol
+        ships k-hop batches only.
         """
-        by_hops: Dict[int, List[ServingFuture]] = {}
+        by_key: Dict[Tuple[str, object], List[ServingFuture]] = {}
         for future in window:
-            by_hops.setdefault(future.hops, []).append(future)
-        groups = sorted(by_hops.items())
-        if self._pool is None:
-            for hops, group in groups:
+            by_key.setdefault(future.group_key, []).append(future)
+        groups = sorted(by_key.items())
+        for key, group in groups:
+            if self._pool is None or key[0] == "rpq":
                 try:
-                    self._execute_group(hops, group)
-                except BaseException as error:  # pragma: no cover - defensive
+                    self._execute_group(key, group)
+                except BaseException as error:
                     for future in group:
                         future._fail(error)
-            return
-        for hops, group in groups:
+                continue
             try:
                 ticket = self._pool.submit_khop(
-                    hops, [future.source for future in group]
+                    key[1], [future.source for future in group]
                 )
             except BaseException as error:
                 for future in group:
@@ -410,14 +523,27 @@ class BatchScheduler:
         self.batches_executed += 1
         self.queries_served += group_size
 
-    def _execute_group(self, hops: int, group: List[ServingFuture]) -> None:
+    def _execute_group(
+        self, key: Tuple[str, object], group: List[ServingFuture]
+    ) -> None:
+        if self._pim is None:
+            # Pool mode reaching the in-process path (an expression
+            # group): build the private platform/engine on first use.
+            self._pim = PIMSystem(self._system.config.cost_model)
+        if self._engine is None:
+            self._engine = create_engine(
+                self._engine_name, self._system._query_processor._runtime
+            )
         manager = self._system._epochs
         epoch = manager.pin()
         try:
             view = EpochView(epoch, self._pim)
-            query = KHopQuery(
-                hops=hops, sources=[future.source for future in group]
-            )
+            kind, detail = key
+            sources = [future.source for future in group]
+            if kind == "khop":
+                query = KHopQuery(hops=detail, sources=sources)
+            else:
+                query = RPQuery(expression=detail, sources=sources)
             result, stats = self._system._query_processor.execute_on_view(
                 query, view, self._engine
             )
