@@ -233,7 +233,13 @@ class MoctopusServer:
                 return_exceptions=True,
             )
         if self._owns_scheduler:
-            self.scheduler.close()
+            # The scheduler's close() joins its drain thread — run it in
+            # the default executor so an embedding application's other
+            # tasks on this loop keep making progress during the drain
+            # (REP005: never block the event loop).
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.scheduler.close
+            )
         self._log.info("server shut down (%d connections drained)",
                        len(connections))
 
@@ -277,14 +283,22 @@ class MoctopusServer:
         await self.shutdown_async()
 
     def close(self, timeout: float = 15.0) -> None:
-        """Gracefully stop a :meth:`start`-ed server (idempotent)."""
+        """Gracefully stop a :meth:`start`-ed server (idempotent).
+
+        The close lock is held only to request the shutdown; the thread
+        join and the scheduler teardown run outside it, so a concurrent
+        closer is never stalled behind the multi-second drain (REP001:
+        mark under the lock, act outside).  Both post-mark steps are
+        idempotent, so racing closers are safe.
+        """
         with self._close_lock:
             thread = self._thread
             if thread is not None and thread.is_alive():
                 self._loop.call_soon_threadsafe(self._shutdown_requested.set)
-                thread.join(timeout)
-            if self._owns_scheduler:
-                self.scheduler.close()  # idempotent; covers thread timeout
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        if self._owns_scheduler:
+            self.scheduler.close()  # idempotent; covers thread timeout
 
     def __enter__(self) -> "MoctopusServer":
         return self

@@ -359,12 +359,16 @@ class BatchScheduler:
     def close(self, timeout: Optional[float] = 5.0) -> None:
         """Stop the worker after draining already-admitted queries.
 
-        Idempotent and safe to call concurrently: the close lock
-        serializes every caller, so a double ``close()`` (or a close
-        racing another close) performs the teardown exactly once and
-        the later callers simply wait for it to finish.  Queries already
-        admitted when ``close()`` is called are still drained and
-        answered by the worker before it exits.
+        Idempotent and safe to call concurrently.  The close lock is
+        held only to *mark* the scheduler closed (and wake the worker);
+        every blocking step — thread joins, the stranded-future drain,
+        pool teardown — runs outside it, so a concurrent closer (or any
+        other path touching the lock) is never stalled behind a
+        multi-second join (REP001: mark under the lock, act outside).
+        Each post-mark step is idempotent, so concurrent closers can
+        run them in parallel; queries already admitted when ``close()``
+        is called are still drained and answered by the worker before
+        it exits.
         """
         with self._close_lock:
             if not self._closed.is_set():
@@ -373,44 +377,52 @@ class BatchScheduler:
                     self._queue.put_nowait(None)  # wake the worker early
                 except queue.Full:
                     pass  # the worker's poll loop notices the flag anyway
-            if self._worker.is_alive():
-                self._worker.join(timeout)
-            if self._worker.is_alive() and self._pool is not None:
-                # In pool mode a drain thread that outlives the join is
-                # almost certainly wedged *on the pool* — blocked
-                # scattering into a full pipeline behind a hung worker.
-                # Closing the pool fails every in-flight ticket, which
-                # unblocks the gatherer and then the drain thread; an
-                # in-process drain (below) needs no such push and is
-                # left to finish on its own.
-                self._pool.close()
-                self._worker.join(timeout)
-            # Fail anything that slipped into the queue after the
-            # worker's final drain (the submit()/close() race) — no
-            # caller may be left blocking on a future nobody will
-            # resolve.  Only when the worker is really gone: if the join
-            # merely timed out mid-batch, the still-running worker will
-            # drain (and answer) the queue itself, and stealing its
-            # items would spuriously fail admitted queries.
-            if self._worker.is_alive():
-                return
-            while True:
-                try:
-                    stranded = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if stranded is not None:
-                    stranded._fail(
-                        RuntimeError("scheduler closed before execution")
-                    )
-            if self._gatherer is not None and self._gatherer.is_alive():
-                # Everything the drain thread scattered is already in the
-                # pipeline queue; the sentinel lands behind it, so the
-                # gatherer resolves every in-flight group before exiting.
-                self._scattered.put(None)
-                self._gatherer.join(timeout)
-            if self._pool is not None:
-                self._pool.close()
+        if self._worker.is_alive():
+            self._worker.join(timeout)
+        if self._worker.is_alive() and self._pool is not None:
+            # In pool mode a drain thread that outlives the join is
+            # almost certainly wedged *on the pool* — blocked
+            # scattering into a full pipeline behind a hung worker.
+            # Closing the pool fails every in-flight ticket, which
+            # unblocks the gatherer and then the drain thread; an
+            # in-process drain (below) needs no such push and is
+            # left to finish on its own.
+            self._pool.close()
+            self._worker.join(timeout)
+        # Fail anything that slipped into the queue after the
+        # worker's final drain (the submit()/close() race) — no
+        # caller may be left blocking on a future nobody will
+        # resolve.  Only when the worker is really gone: if the join
+        # merely timed out mid-batch, the still-running worker will
+        # drain (and answer) the queue itself, and stealing its
+        # items would spuriously fail admitted queries.  Concurrent
+        # closers may interleave here; ``get_nowait`` and ``_fail``
+        # are both safe to race.
+        if self._worker.is_alive():
+            return
+        while True:
+            try:
+                stranded = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if stranded is not None:
+                stranded._fail(
+                    RuntimeError("scheduler closed before execution")
+                )
+        if self._gatherer is not None and self._gatherer.is_alive():
+            # Everything the drain thread scattered is already in the
+            # pipeline queue; the sentinel lands behind it, so the
+            # gatherer resolves every in-flight group before exiting.
+            # A second closer's extra sentinel is left unread if the
+            # gatherer already exited, so never block on a full
+            # pipeline forever.
+            try:
+                self._scattered.put(None, timeout=timeout)
+            except queue.Full:  # pragma: no cover - wedged pipeline
+                pass
+            self._gatherer.join(timeout)
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "BatchScheduler":
         return self
