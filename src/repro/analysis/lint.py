@@ -1,0 +1,339 @@
+"""The AST lint framework behind ``python -m repro.analysis``.
+
+The framework is deliberately small: a rule is any object with a
+``rule_id``, a ``title``, a ``hint`` and a ``check(module)`` generator
+yielding :class:`Finding` records.  The runner loads each Python file
+once into a :class:`ModuleInfo` (source, parsed tree, parent links,
+per-line suppression comments) and hands it to every registered rule.
+
+Two suppression mechanisms make deliberate exceptions *explicit*:
+
+* **Inline**: ``# repro: noqa REP001 — <why>`` on the flagged line
+  suppresses that rule there.  The justification text is required by
+  convention (reviewers reject bare noqas), not by the parser.
+* **Baseline**: a JSON file (``analysis-baseline.json`` at the repo
+  root) of known findings keyed by ``(rule, path, scope, detail)`` —
+  line-number free, so unrelated edits don't invalidate entries.  Each
+  entry carries a one-line ``justification``.  ``--update-baseline``
+  rewrites the file from the current findings, preserving existing
+  justifications.
+
+The CLI exits nonzero when any finding is neither inline-suppressed nor
+baselined, which is what makes the ``analysis`` CI job a gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Inline suppression syntax: ``# repro: noqa REP001`` (optionally a
+#: comma/space separated list of rule ids, optionally followed by a
+#: justification after a dash).  Example::
+#:
+#:     os.fsync(fd)  # repro: noqa REP003 — file fsync has no funnel
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\s+(?P<rules>REP\d{3}(?:[,\s]+REP\d{3})*)",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    ``scope`` is the dotted class/function path enclosing the finding
+    (``BatchScheduler.close``) and ``detail`` a short, stable
+    description of the flagged construct — together with ``rule`` and
+    ``path`` they form the line-number-free baseline key.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str
+    scope: str = "<module>"
+    detail: str = ""
+
+    def key(self) -> Tuple[str, str, str, str]:
+        """Baseline identity: stable across unrelated line drift."""
+        return (self.rule, self.path, self.scope, self.detail)
+
+    def render(self) -> str:
+        """One-line human-readable report entry."""
+        return (
+            f"{self.path}:{self.line}: {self.rule} [{self.scope}] "
+            f"{self.message}\n    hint: {self.hint}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "scope": self.scope,
+            "detail": self.detail,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+class ModuleInfo:
+    """One loaded source file: tree, parent links, suppressions."""
+
+    def __init__(self, path: str, relpath: str, source: str) -> None:
+        self.path = path
+        #: Repo-relative POSIX path — what findings and baselines carry.
+        self.relpath = relpath.replace(os.sep, "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        #: Child -> parent links for upward walks (enclosing scopes).
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        #: line number -> frozenset of inline-suppressed rule ids.  A
+        #: noqa on a comment-only line also covers the next code line,
+        #: so long justifications can sit above the flagged statement.
+        self.suppressions: Dict[int, frozenset] = {}
+        pending: frozenset = frozenset()
+        for number, line in enumerate(self.lines, start=1):
+            match = _NOQA.search(line)
+            rules = frozenset()
+            if match:
+                rules = frozenset(
+                    rule.upper()
+                    for rule in re.split(r"[,\s]+", match.group("rules"))
+                    if rule
+                )
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                pending = pending | rules
+                continue
+            if rules or pending:
+                self.suppressions[number] = rules | pending
+            if stripped:
+                pending = frozenset()
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is inline-noqa'd on ``line``."""
+        return rule.upper() in self.suppressions.get(line, frozenset())
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted class/function path enclosing ``node``."""
+        parts: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                parts.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(parts)) or "<module>"
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Nearest enclosing (async) function definition, if any."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+
+class Baseline:
+    """Known findings with justifications (the explicit-exception file)."""
+
+    def __init__(self, entries: Optional[List[Dict[str, str]]] = None) -> None:
+        self.entries: List[Dict[str, str]] = entries or []
+        self._keys = {
+            (
+                entry.get("rule", ""),
+                entry.get("path", ""),
+                entry.get("scope", ""),
+                entry.get("detail", ""),
+            )
+            for entry in self.entries
+        }
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        entries = data.get("entries", [])
+        if not isinstance(entries, list):
+            raise ValueError(f"malformed baseline file {path!r}")
+        return cls(entries)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.key() in self._keys
+
+    def justification_of(self, finding: Finding) -> Optional[str]:
+        for entry in self.entries:
+            key = (
+                entry.get("rule", ""),
+                entry.get("path", ""),
+                entry.get("scope", ""),
+                entry.get("detail", ""),
+            )
+            if key == finding.key():
+                return entry.get("justification")
+        return None
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], previous: "Baseline"
+    ) -> "Baseline":
+        """Rebuild from current findings, keeping old justifications."""
+        entries = []
+        seen = set()
+        for finding in findings:
+            if finding.key() in seen:
+                continue
+            seen.add(finding.key())
+            justification = previous.justification_of(finding)
+            entries.append(
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "scope": finding.scope,
+                    "detail": finding.detail,
+                    "justification": justification
+                    or "TODO — justify or fix",
+                }
+            )
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "comment": (
+                "Deliberate exceptions to repro.analysis rules; every "
+                "entry needs a one-line justification.  Regenerate with "
+                "python -m repro.analysis --update-baseline."
+            ),
+            "entries": sorted(
+                self.entries,
+                key=lambda entry: (
+                    entry.get("rule", ""),
+                    entry.get("path", ""),
+                    entry.get("scope", ""),
+                    entry.get("detail", ""),
+                ),
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, split by suppression status."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+class LintRunner:
+    """Loads files and drives every registered rule over them."""
+
+    def __init__(self, rules: Optional[Sequence] = None, root: str = ".") -> None:
+        if rules is None:
+            from repro.analysis.rules import all_rules
+
+            rules = all_rules()
+        self.rules = list(rules)
+        self.root = os.path.abspath(root)
+
+    def load(self, path: str) -> Optional[ModuleInfo]:
+        """Read and parse one file (``None`` for unparseable sources)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        relpath = os.path.relpath(os.path.abspath(path), self.root)
+        try:
+            return ModuleInfo(path, relpath, source)
+        except SyntaxError:
+            return None
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        """Run every rule over one loaded module (inline noqa applied)."""
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(module):
+                if not module.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        return findings
+
+    def check_source(
+        self, source: str, relpath: str = "<snippet>.py"
+    ) -> List[Finding]:
+        """Lint an in-memory snippet — the unit-test entry point."""
+        module = ModuleInfo(relpath, relpath, source)
+        return self.check_module(module)
+
+    def run(
+        self, paths: Iterable[str], baseline: Optional[Baseline] = None
+    ) -> LintReport:
+        """Lint every ``.py`` file under ``paths`` against ``baseline``."""
+        baseline = baseline or Baseline()
+        report = LintReport()
+        for path in sorted(_iter_python_files(paths)):
+            module = self.load(path)
+            if module is None:
+                continue
+            report.files_checked += 1
+            suppressed_before = len(module.suppressions)
+            for finding in self.check_module(module):
+                if baseline.covers(finding):
+                    report.baselined.append(finding)
+                else:
+                    report.findings.append(finding)
+            report.suppressed += suppressed_before
+        report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        report.baselined.sort(key=lambda f: (f.path, f.line, f.rule))
+        return report
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [
+                name for name in dirnames
+                if name not in ("__pycache__", ".git")
+            ]
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def run_lint(
+    paths: Iterable[str],
+    baseline_path: Optional[str] = None,
+    root: str = ".",
+) -> LintReport:
+    """Convenience wrapper: lint ``paths`` with the default rule set."""
+    baseline = (
+        Baseline.load(baseline_path) if baseline_path else Baseline()
+    )
+    return LintRunner(root=root).run(paths, baseline)

@@ -1,0 +1,136 @@
+"""REP001 — no blocking or expensive calls inside a ``with <lock>:`` body.
+
+The shape of two shipped bugs: the result-cache deep-copy held under
+``_cache_lock`` (serialized every concurrent cache hit) and
+``close()`` joining worker threads while holding ``_close_lock``
+(every concurrent closer — and anything else touching the lock — stalls
+behind a multi-second join).  The fix pattern is always the same: *mark
+state under the lock, act outside it*.
+
+Flagged inside a lock body:
+
+* ``copy.deepcopy`` (expensive; starves other lock waiters),
+* ``time.sleep`` / bare ``sleep``,
+* ``os.fsync`` / ``fsync_directory`` / ``wal_write`` (durable I/O),
+* blocking ``<queue>.get(...)`` / ``<queue>.put(...)`` (deadlock bait:
+  the unblocking party may need the same lock),
+* ``<thread>.join(...)`` / ``<scheduler|pool|server>.close(...)``,
+* ``<future|gate|ticket>.result/outcome(...)``,
+* ``<socket>.recv/accept/connect/sendall(...)``,
+* ``<event|cond>.wait(...)``.
+
+Non-blocking variants (``get_nowait``, ``block=False``, ``timeout=0``)
+are not flagged, and a nested function *defined* under the lock is
+skipped (it does not run there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint import Finding, ModuleInfo
+from repro.analysis.rules.common import (
+    CLOSEISH,
+    EVENTISH,
+    FUTUREISH,
+    QUEUEISH,
+    SOCKETISH,
+    THREADISH,
+    call_func_name,
+    is_false_constant,
+    is_zero_constant,
+    keyword_value,
+    lock_name_of_with_item,
+    receiver_dotted,
+    receiver_name,
+    walk_body,
+)
+
+RULE_ID = "REP001"
+TITLE = "no blocking/expensive calls while holding a lock"
+HINT = (
+    "mark state under the lock, run the blocking call outside it "
+    "(release-then-act), or switch to a non-blocking variant"
+)
+
+#: Plain function calls that block or burn time regardless of receiver.
+_BLOCKING_FUNCS = frozenset(
+    {"deepcopy", "sleep", "fsync", "fsync_directory", "wal_write"}
+)
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    """Why ``call`` is considered blocking, or ``None`` when it isn't."""
+    func = call_func_name(call)
+    if func in _BLOCKING_FUNCS:
+        return f"call to {func}()"
+    recv = receiver_name(call)
+    if recv is None:
+        return None
+    if func in ("get", "put") and QUEUEISH.search(recv):
+        if is_false_constant(keyword_value(call, "block")):
+            return None
+        if is_zero_constant(keyword_value(call, "timeout")):
+            return None
+        # Positional ``q.get(False)`` is the stdlib's block flag.
+        if call.args and is_false_constant(call.args[0]):
+            return None
+        return f"blocking {recv}.{func}()"
+    if func == "join" and THREADISH.search(recv):
+        return f"thread join {recv}.join()"
+    if func == "close" and CLOSEISH.search(recv):
+        return f"blocking teardown {recv}.close()"
+    if func in ("result", "outcome") and FUTUREISH.search(recv):
+        return f"blocking wait {recv}.{func}()"
+    if func in ("recv", "accept", "connect", "sendall") and SOCKETISH.search(
+        recv
+    ):
+        return f"socket {recv}.{func}()"
+    if func == "wait" and EVENTISH.search(recv):
+        return f"blocking wait {recv}.wait()"
+    return None
+
+
+class Rule:
+    rule_id = RULE_ID
+    title = TITLE
+    hint = HINT
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            lock_names = [
+                name
+                for name in (
+                    lock_name_of_with_item(item) for item in node.items
+                )
+                if name is not None
+            ]
+            if not lock_names:
+                continue
+            lock = lock_names[0]
+            for inner in walk_body(node.body):
+                if not isinstance(inner, ast.Call):
+                    continue
+                reason = _blocking_reason(inner)
+                if reason is None:
+                    continue
+                target = (
+                    receiver_dotted(inner) or ""
+                ) + ("." if receiver_dotted(inner) else "") + (
+                    call_func_name(inner) or "?"
+                )
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=inner.lineno,
+                    scope=module.scope_of(inner),
+                    detail=f"{target} under {lock}",
+                    message=(
+                        f"{reason} inside `with {lock}:` — every other "
+                        f"thread touching this lock stalls behind it"
+                    ),
+                    hint=self.hint,
+                )

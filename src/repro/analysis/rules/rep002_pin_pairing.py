@@ -1,0 +1,81 @@
+"""REP002 — every epoch pin released on all paths.
+
+The PR-5 leak shape: ``Session.refresh()`` pinned the new epoch, then
+raised while rebasing — and the fresh pin leaked, permanently blocking
+retention eviction of that epoch.  The mechanical invariant: a function
+that both pins **and** unpins must release on *every* path, which in
+this codebase means each ``unpin`` runs inside a ``finally`` suite (the
+``try/finally`` discipline of ``BatchScheduler._execute_group``) or in
+an ``except`` rollback handler paired with a tail unpin (the
+exception-safe swap in ``Session.refresh``, which the baseline records
+explicitly).
+
+Functions that only pin (ownership escapes: ``Session.__init__`` hands
+the pin to ``close()``) or only unpin are out of scope — pairing across
+function boundaries is an ownership contract, not a local invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.lint import Finding, ModuleInfo
+from repro.analysis.rules.common import (
+    call_func_name,
+    in_except_handler,
+    in_finally_block,
+)
+
+RULE_ID = "REP002"
+TITLE = "epoch pins must be released on all paths"
+HINT = (
+    "wrap the pinned region in try/finally with the unpin in the "
+    "finally suite, or use a context-managed session"
+)
+
+
+class Rule:
+    rule_id = RULE_ID
+    title = TITLE
+    hint = HINT
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            pins: List[ast.Call] = []
+            unpins: List[ast.Call] = []
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    name = call_func_name(inner)
+                    if name == "pin":
+                        pins.append(inner)
+                    elif name == "unpin":
+                        unpins.append(inner)
+            if not pins or not unpins:
+                continue
+            unguarded = [
+                unpin
+                for unpin in unpins
+                if not in_finally_block(module, unpin)
+                and not in_except_handler(module, unpin)
+            ]
+            if not unguarded:
+                continue
+            pin = pins[0]
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=pin.lineno,
+                scope=module.scope_of(pin),
+                detail="pin/unpin without finally",
+                message=(
+                    "pin() is released by an unpin() outside any "
+                    "finally/rollback suite — an exception between them "
+                    "leaks the pin and blocks epoch retention forever"
+                ),
+                hint=self.hint,
+            )

@@ -1,0 +1,73 @@
+"""REP003 — durable bytes funnel through ``wal_write``/``fsync_directory``.
+
+The whole crash matrix rests on one property: *every* durable byte of
+the WAL and of checkpoints goes through ``wal.wal_write``, and every
+directory-entry barrier through ``wal.fsync_directory`` — that is what
+lets the fault-injection harness kill the process at (and inside) every
+durable write deterministically.  A raw ``handle.write()`` or
+``os.write()`` added anywhere in ``src/repro/durability/`` silently
+escapes the crash matrix: the new write path ships untested against
+torn writes.
+
+Flagged (in durability files only): ``<handle>.write(...)`` and
+``os.write(...)`` outside the body of ``wal_write`` itself, and
+``os.fsync(...)`` outside ``fsync_directory``.  File-handle fsyncs that
+deliberately sit next to a funneled write carry an inline noqa with the
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleInfo
+from repro.analysis.rules.common import call_func_name, dotted_name
+
+RULE_ID = "REP003"
+TITLE = "durable writes must use the wal_write/fsync_directory funnel"
+HINT = (
+    "route the bytes through repro.durability.wal.wal_write (and "
+    "directory barriers through wal.fsync_directory) so the "
+    "fault-injection crash matrix covers the new write path"
+)
+
+#: Functions that ARE the funnel: raw I/O inside them is the point.
+_FUNNEL_FUNCTIONS = frozenset({"wal_write", "fsync_directory"})
+
+
+class Rule:
+    rule_id = RULE_ID
+    title = TITLE
+    hint = HINT
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if "durability" not in module.relpath.split("/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = call_func_name(node)
+            dotted = dotted_name(node.func) or ""
+            raw_write = func == "write" or dotted == "os.write"
+            raw_fsync = dotted == "os.fsync"
+            if not raw_write and not raw_fsync:
+                continue
+            enclosing = module.enclosing_function(node)
+            enclosing_name = getattr(enclosing, "name", "<module>")
+            if enclosing_name in _FUNNEL_FUNCTIONS:
+                continue
+            kind = "write" if raw_write else "fsync"
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                scope=module.scope_of(node),
+                detail=f"raw {dotted or func} in {enclosing_name}",
+                message=(
+                    f"raw durable {kind} ({dotted or func}) bypasses the "
+                    f"wal_write/fsync_directory funnel — the crash matrix "
+                    f"cannot tear this write"
+                ),
+                hint=self.hint,
+            )

@@ -1,0 +1,173 @@
+"""REP004 — no in-place mutation of frozen-snapshot arrays.
+
+Epochs publish frozen CSR arrays (``writeable=False``) that every
+concurrent reader shares zero-copy; sessions, the scheduler, worker
+processes and the result cache all rely on those arrays never changing.
+Mutating one would either raise at runtime (numpy honors the flag) or —
+worse, through a view or an ``out=`` kwarg on a copy that aliases the
+base — silently corrupt every other reader of the epoch.
+
+The rule taints variables bound from frozen-snapshot accessors
+(``to_csr``, ``snapshot_of``, ``reverse_snapshot_of``,
+``degree_histogram``, ``freeze``, plus attribute loads off a tainted
+variable like ``snap.indptr``) and flags in-place mutation of tainted
+names: subscript stores, augmented assignment, ``.sort()`` /
+``.fill()`` / ``.partition()`` / ``.resize()`` calls, and ``out=``
+keywords.  Rebinding a name (``x = x.copy()``) clears its taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.lint import Finding, ModuleInfo
+from repro.analysis.rules.common import call_func_name
+
+RULE_ID = "REP004"
+TITLE = "frozen snapshot arrays are immutable"
+HINT = (
+    "work on a copy (arr.copy()) or build the result into a fresh "
+    "array — epoch snapshots are shared zero-copy across readers"
+)
+
+#: Calls whose results are frozen shared state.
+FROZEN_ACCESSORS = frozenset(
+    {
+        "to_csr",
+        "snapshot_of",
+        "reverse_snapshot_of",
+        "degree_histogram",
+        "freeze",
+    }
+)
+
+#: ndarray methods that mutate in place.
+_MUTATORS = frozenset({"sort", "fill", "partition", "resize", "put"})
+
+
+def _base_name(node: ast.AST) -> str:
+    """Leftmost Name of a Name/Attribute/Subscript chain ('' if none)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class Rule:
+    rule_id = RULE_ID
+    title = TITLE
+    hint = HINT
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, function: ast.AST
+    ) -> Iterator[Finding]:
+        tainted: Set[str] = set()
+        origins: Dict[str, str] = {}
+        # Single forward pass in source order: taint assignments first,
+        # then flag mutations of currently-tainted names.  Rebinding a
+        # tainted name to anything else clears it.
+        statements = [
+            node
+            for node in ast.walk(function)
+            if isinstance(
+                node, (ast.Assign, ast.AugAssign, ast.Expr, ast.Call)
+            )
+        ]
+        statements.sort(key=lambda node: (node.lineno, node.col_offset))
+        for node in statements:
+            if isinstance(node, ast.Assign):
+                yield from self._flag_subscript_stores(
+                    module, node, tainted, origins
+                )
+                source = self._taint_source(node.value, tainted)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if source is not None:
+                            tainted.add(target.id)
+                            origins[target.id] = source
+                        else:
+                            tainted.discard(target.id)
+            elif isinstance(node, ast.AugAssign):
+                base = _base_name(node.target)
+                if base in tainted:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"augmented assignment to {base}",
+                        origins.get(base, "?"),
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._flag_call(module, node, tainted, origins)
+
+    def _taint_source(
+        self, value: ast.AST, tainted: Set[str]
+    ) -> Optional[str]:
+        """Accessor name when ``value`` yields frozen state, else None."""
+        if isinstance(value, ast.Call):
+            name = call_func_name(value)
+            if name in FROZEN_ACCESSORS:
+                return name
+        # Attribute load off a tainted variable: ``snap.indptr``.
+        if isinstance(value, ast.Attribute):
+            base = _base_name(value)
+            if base in tainted:
+                return f"{base}.{value.attr}"
+        return None
+
+    def _flag_subscript_stores(
+        self, module, assign: ast.Assign, tainted: Set[str], origins
+    ) -> Iterator[Finding]:
+        for target in assign.targets:
+            if isinstance(target, ast.Subscript):
+                base = _base_name(target)
+                if base in tainted:
+                    yield self._finding(
+                        module,
+                        assign,
+                        f"subscript store into {base}[...]",
+                        origins.get(base, "?"),
+                    )
+
+    def _flag_call(
+        self, module, call: ast.Call, tainted: Set[str], origins
+    ) -> Iterator[Finding]:
+        if isinstance(call.func, ast.Attribute):
+            func = call.func.attr
+            base = _base_name(call.func.value)
+            if func in _MUTATORS and base in tainted:
+                yield self._finding(
+                    module,
+                    call,
+                    f"in-place {base}.{func}()",
+                    origins.get(base, "?"),
+                )
+        for keyword in call.keywords:
+            if keyword.arg == "out" and isinstance(keyword.value, ast.Name):
+                if keyword.value.id in tainted:
+                    yield self._finding(
+                        module,
+                        call,
+                        f"out={keyword.value.id} kwarg",
+                        origins.get(keyword.value.id, "?"),
+                    )
+
+    def _finding(self, module, node, what: str, origin: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.relpath,
+            line=node.lineno,
+            scope=module.scope_of(node),
+            detail=what,
+            message=(
+                f"{what} mutates an array obtained from frozen accessor "
+                f"`{origin}` — epoch snapshots are shared, immutable state"
+            ),
+            hint=self.hint,
+        )

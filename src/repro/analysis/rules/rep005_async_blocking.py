@@ -1,0 +1,124 @@
+"""REP005 — no blocking calls inside ``async def`` bodies in the net layer.
+
+The asyncio front-end multiplexes every client connection onto one
+event-loop thread; a single blocking call — ``time.sleep``, a blocking
+``queue.get``, a ``ServingFuture.result``/``outcome`` wait, a thread
+join, a blocking scheduler/pool ``close()`` — freezes *every*
+connection at once.  The bridge discipline is the one ``server.py``
+establishes: scheduler outcomes hop onto the loop via
+``add_done_callback`` + ``call_soon_threadsafe``; anything else
+blocking belongs in ``run_in_executor``.
+
+Scoped to ``src/repro/net/``: the async surface of the codebase.
+Nested synchronous ``def``s inside an async function are skipped (they
+run wherever they are called — e.g. a ``call_soon_threadsafe`` callback
+body is loop-side but not awaited), as are calls on an ``asyncio.*``
+receiver (``asyncio.wait`` suspends, it does not block).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint import Finding, ModuleInfo
+import re
+
+from repro.analysis.rules.common import (
+    EVENTISH,
+    FUTUREISH,
+    QUEUEISH,
+    SOCKETISH,
+    THREADISH,
+    call_func_name,
+    dotted_name,
+    is_false_constant,
+    is_zero_constant,
+    keyword_value,
+    receiver_dotted,
+    receiver_name,
+    walk_body,
+)
+
+RULE_ID = "REP005"
+TITLE = "no blocking calls on the event loop"
+HINT = (
+    "bridge with add_done_callback + call_soon_threadsafe, await an "
+    "asyncio primitive, or offload via loop.run_in_executor"
+)
+
+#: Thread-backed subsystems whose ``close()`` joins threads / drains
+#: queues.  Narrower than REP001's list: an asyncio ``Server.close()``
+#: is non-blocking, so bare ``server`` receivers are not included here.
+_THREADED_CLOSEISH = re.compile(r"scheduler|pool", re.IGNORECASE)
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    func = call_func_name(call)
+    dotted = dotted_name(call.func) or ""
+    if dotted in ("time.sleep",) or func == "sleep" and dotted == "sleep":
+        return "time.sleep() parks the event loop"
+    recv = receiver_name(call)
+    if recv is None:
+        return None
+    if recv == "asyncio" or (receiver_dotted(call) or "").startswith(
+        "asyncio"
+    ):
+        return None
+    if func == "get" and QUEUEISH.search(recv):
+        if is_false_constant(keyword_value(call, "block")):
+            return None
+        if is_zero_constant(keyword_value(call, "timeout")):
+            return None
+        if call.args and is_false_constant(call.args[0]):
+            return None
+        return f"blocking {recv}.get()"
+    if func == "join" and THREADISH.search(recv):
+        return f"thread join {recv}.join()"
+    if func == "close" and _THREADED_CLOSEISH.search(recv):
+        return f"blocking teardown {recv}.close() (joins threads)"
+    if func in ("result", "outcome") and FUTUREISH.search(recv):
+        return f"blocking wait {recv}.{func}()"
+    if func in ("recv", "accept", "connect", "sendall") and SOCKETISH.search(
+        recv
+    ):
+        return f"blocking socket {recv}.{func}()"
+    if func == "wait" and EVENTISH.search(recv):
+        return f"threading-event wait {recv}.wait()"
+    return None
+
+
+class Rule:
+    rule_id = RULE_ID
+    title = TITLE
+    hint = HINT
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if "net" not in module.relpath.split("/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in walk_body(node.body):
+                if not isinstance(inner, ast.Call):
+                    continue
+                reason = _blocking_reason(inner)
+                if reason is None:
+                    continue
+                target = (
+                    (receiver_dotted(inner) or "")
+                    + ("." if receiver_dotted(inner) else "")
+                    + (call_func_name(inner) or "?")
+                )
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=inner.lineno,
+                    scope=module.scope_of(inner),
+                    detail=f"{target} in async {node.name}",
+                    message=(
+                        f"{reason} inside `async def {node.name}` — every "
+                        f"connection on this loop stalls behind it"
+                    ),
+                    hint=self.hint,
+                )

@@ -1,0 +1,146 @@
+"""REP006 — no unordered set iteration feeding stats or wire output.
+
+The bit-identity invariant: results **and** simulated statistics must
+be byte-for-byte reproducible across engines, processes and the wire
+(the parity suites, the crash matrix and the network benchmark all
+assert it).  Python ``set`` iteration order depends on insertion
+history and hash seeding, so a ``for`` loop over a set that feeds an
+accounting counter, a wire frame or a durable write can produce
+run-dependent byte streams — the class of bug that only surfaces as a
+flaky differential test three PRs later.
+
+Flagged: ``for x in <set>:`` — where ``<set>`` is a set literal, a set
+comprehension, a ``set(...)`` call, or a name bound from one — whose
+body calls an accounting sink (``add_counter``, ``note_served``,
+``count``, ``absorb_lifetime``) or a wire/durability sink (``send``,
+``send_error``, ``encode_frame``, ``wal_write``, ``write``).  Wrapping
+the iterable in ``sorted(...)`` clears the finding (dict iteration is
+insertion-ordered and therefore deterministic; it is not flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.lint import Finding, ModuleInfo
+from repro.analysis.rules.common import call_func_name, walk_body
+
+RULE_ID = "REP006"
+TITLE = "set iteration feeding stats/wire output must be sorted"
+HINT = (
+    "iterate `sorted(the_set)` so counters and wire bytes are "
+    "bit-identical across runs, engines and processes"
+)
+
+#: Calls inside the loop body that make iteration order observable.
+_SINKS = frozenset(
+    {
+        "add_counter",
+        "note_served",
+        "count",
+        "absorb_lifetime",
+        "send",
+        "send_error",
+        "encode_frame",
+        "wal_write",
+        "write",
+    }
+)
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_func_name(node) == "set":
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    # Set algebra on known sets stays a set: ``visited | frontier``.
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+class Rule:
+    rule_id = RULE_ID
+    title = TITLE
+    hint = HINT
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for function in ast.walk(module.tree):
+            if not isinstance(
+                function, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            set_names: Set[str] = set()
+            nodes = [
+                node
+                for node in ast.walk(function)
+                if isinstance(node, (ast.Assign, ast.For, ast.AnnAssign))
+            ]
+            nodes.sort(key=lambda node: (node.lineno, node.col_offset))
+            for node in nodes:
+                if isinstance(node, ast.Assign):
+                    is_set = _is_set_expr(node.value, set_names)
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            if is_set:
+                                set_names.add(target.id)
+                            else:
+                                set_names.discard(target.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if node.value is not None and isinstance(
+                        node.target, ast.Name
+                    ):
+                        if _is_set_expr(node.value, set_names):
+                            set_names.add(node.target.id)
+                        else:
+                            set_names.discard(node.target.id)
+                elif isinstance(node, ast.For):
+                    yield from self._check_loop(module, node, set_names)
+
+    def _check_loop(
+        self, module: ModuleInfo, loop: ast.For, set_names: Set[str]
+    ) -> Iterator[Finding]:
+        iterable = loop.iter
+        if isinstance(iterable, ast.Call) and call_func_name(iterable) in (
+            "sorted",
+            "enumerate",  # enumerate(sorted(...)) handled via args below
+        ):
+            if call_func_name(iterable) == "sorted":
+                return
+            if iterable.args and isinstance(
+                iterable.args[0], ast.Call
+            ) and call_func_name(iterable.args[0]) == "sorted":
+                return
+            iterable = iterable.args[0] if iterable.args else iterable
+        if not _is_set_expr(iterable, set_names):
+            return
+        sinks = sorted(
+            {
+                call_func_name(inner)
+                for inner in walk_body(loop.body)
+                if isinstance(inner, ast.Call)
+                and call_func_name(inner) in _SINKS
+            }
+        )
+        if not sinks:
+            return
+        yield Finding(
+            rule=self.rule_id,
+            path=module.relpath,
+            line=loop.lineno,
+            scope=module.scope_of(loop),
+            detail=f"set iteration feeding {','.join(sinks)}",
+            message=(
+                f"iteration over an unordered set feeds "
+                f"{', '.join(sinks)}() — the emitted order (and so the "
+                f"bytes/counters) varies run to run"
+            ),
+            hint=self.hint,
+        )

@@ -191,6 +191,8 @@ def _write_file(path: str, payload: bytes, fsync: bool) -> None:
     with open(path, "ab", buffering=0) as handle:
         wal_log.wal_write(handle, payload)
         if fsync:
+            # repro: noqa REP003 — file-handle fsync has no funnel; the
+            # payload above went through wal_write (the crash axis).
             os.fsync(handle.fileno())
 
 

@@ -43,7 +43,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -530,6 +530,9 @@ class WriteAheadLog:
                 # write, the record would otherwise be durable-but-
                 # unaccounted, and a retry would mint a second record
                 # with the same LSN behind it.
+                # repro: noqa REP003 — file-handle fsync has no funnel;
+                # the bytes above went through wal_write, which is the
+                # crash axis; fsync failure handling is the guard here.
                 os.fsync(self._handle.fileno())
         except BaseException:
             self._tail_dirty = True

@@ -97,3 +97,38 @@ def small_cost_model() -> CostModel:
 def small_config(small_cost_model: CostModel) -> MoctopusConfig:
     """Moctopus configuration matching the small platform."""
     return MoctopusConfig(cost_model=small_cost_model)
+
+
+# ----------------------------------------------------------------------
+# Runtime lock-order checking (REPRO_LOCKCHECK=1)
+#
+# With the variable set, every test runs under the
+# ``repro.analysis.lockcheck`` instrumented-lock checker and fails if
+# the code under test ever acquired locks in cycle-forming orders
+# (potential ABBA deadlock) — detection needs only the *observed*
+# orderings, no run has to actually deadlock.  The CI ``analysis`` job
+# sets the variable for the serving/parallel/net suites.
+#
+# ``tests/test_analysis.py`` manages its own checker regions (install
+# is deliberately exclusive), so it is excluded from the autouse guard.
+# ----------------------------------------------------------------------
+@pytest.fixture(autouse=True)
+def _lock_order_guard(request):
+    if os.environ.get("REPRO_LOCKCHECK") != "1":
+        yield
+        return
+    if request.node.module.__name__ == "test_analysis":
+        yield
+        return
+    from repro.analysis import lockcheck
+
+    if lockcheck.active_checker() is not None:  # pragma: no cover - safety
+        yield
+        return
+    with lockcheck.lock_order_checker() as checker:
+        yield
+    cycles = checker.cycles()
+    assert not cycles, (
+        "lock-order cycles observed (potential ABBA deadlock):\n"
+        + checker.report()
+    )
