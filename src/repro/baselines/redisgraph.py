@@ -31,7 +31,6 @@ from repro.graph.digraph import DEFAULT_LABEL, DiGraph
 from repro.pim.cost_model import CostModel
 from repro.pim.stats import ExecutionStats
 from repro.pim.system import PIMSystem
-from repro.rpq.automaton import DFA
 from repro.rpq.query import BatchResult, KHopQuery, RPQuery
 
 #: Bytes per stored matrix entry (column index + label).

@@ -16,7 +16,7 @@ generation can consume it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.baselines.pim_hash import PIMHashSystem

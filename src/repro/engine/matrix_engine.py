@@ -46,7 +46,7 @@ of the crossover a phase lands on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

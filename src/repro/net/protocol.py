@@ -45,12 +45,16 @@ Frame types
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.pim.stats import ExecutionStats
+
+#: A decoded wire frame: one JSON object with at least a ``type`` key.
+Frame = Dict[str, Any]
 
 #: Version of the frame protocol; HELLO carries it and the server
 #: rejects clients speaking a different one.
@@ -84,7 +88,7 @@ class ProtocolError(ValueError):
     """A malformed frame (bad length, bad JSON, unknown type)."""
 
 
-def encode_frame(frame: Dict[str, Any]) -> bytes:
+def encode_frame(frame: Frame) -> bytes:
     """Serialize one frame: 4-byte length prefix + compact JSON."""
     frame_type = frame.get("type")
     if frame_type not in FRAME_TYPES:
@@ -100,7 +104,7 @@ def encode_frame(frame: Dict[str, Any]) -> bytes:
     return _LENGTH.pack(len(payload)) + payload
 
 
-def decode_frame(payload: bytes) -> Dict[str, Any]:
+def decode_frame(payload: bytes) -> Frame:
     """Parse one frame payload (the bytes after the length prefix)."""
     try:
         frame = json.loads(payload.decode("utf-8"))
@@ -126,14 +130,12 @@ def decode_length(header: bytes) -> int:
     return length
 
 
-async def read_frame(reader) -> Optional[Dict[str, Any]]:
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
     """Read one frame from an :class:`asyncio.StreamReader`.
 
     Returns ``None`` on a clean EOF (the peer closed between frames);
     raises :class:`ProtocolError` on a truncated or malformed frame.
     """
-    import asyncio
-
     try:
         header = await reader.readexactly(_LENGTH.size)
     except asyncio.IncompleteReadError as error:
@@ -153,7 +155,7 @@ def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
     Returns ``None`` on EOF before the first byte; raises
     :class:`ProtocolError` on EOF mid-read.
     """
-    chunks = []
+    chunks: List[bytes] = []
     received = 0
     while received < count:
         chunk = sock.recv(count - received)
@@ -166,7 +168,7 @@ def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def read_frame_blocking(sock: socket.socket) -> Optional[Dict[str, Any]]:
+def read_frame_blocking(sock: socket.socket) -> Optional[Frame]:
     """Read one frame from a blocking socket (``None`` on clean EOF)."""
     header = _recv_exactly(sock, _LENGTH.size)
     if header is None:

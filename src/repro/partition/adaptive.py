@@ -20,7 +20,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.graph.digraph import DiGraph
 from repro.partition.base import PartitionMap, StreamingPartitioner
-from repro.partition.hash_partition import HashPartitioner, stable_node_hash
+from repro.partition.hash_partition import stable_node_hash
 
 
 class AdaptivePartitioner(StreamingPartitioner):

@@ -30,7 +30,7 @@ All returned times are in **seconds**; reports convert to milliseconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

@@ -42,7 +42,7 @@ from repro.rpq.planner import (
     ReduceStep,
     plan_query,
 )
-from repro.rpq.query import KHopQuery, RPQuery
+from repro.rpq.query import KHopQuery
 from repro.rpq.regex import ANY_LABEL, reverse_expression
 
 #: Reverse expansion must look at least this much cheaper than forward

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from types import TracebackType
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -38,6 +39,37 @@ from repro.core.snapshot import GraphSnapshot, build_snapshot
 from repro.partition.base import HOST_PARTITION
 from repro.partition.owner_index import OwnerIndex
 from repro.pim.system import PIMSystem
+
+
+class LockLike(Protocol):
+    """Any mutex usable as the manager's writer lock.
+
+    ``threading.RLock`` is a factory function, not a type, so callables
+    passing an (R)Lock — or an instrumented stand-in from
+    ``repro.analysis.lockcheck`` — are typed against this protocol.
+    """
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+    def __enter__(self) -> object:
+        ...
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> object:
+        ...
+
+
+#: What :meth:`EpochManager._capture` returns: the per-partition frozen
+#: snapshots, the frozen owner table, and the live node/edge counts.
+CaptureResult = Tuple[Tuple[GraphSnapshot, ...], OwnerIndex, int, int]
 
 
 class Epoch:
@@ -331,13 +363,15 @@ class EpochManager:
 
     def __init__(
         self,
-        capture: Callable[[], Tuple[Tuple[GraphSnapshot, ...], OwnerIndex, int, int]],
+        capture: Callable[[], CaptureResult],
         retention: int,
-        lock: Optional[threading.RLock] = None,
+        lock: Optional[LockLike] = None,
     ) -> None:
         self._capture = capture
         self._retention = retention
-        self._lock = lock if lock is not None else threading.RLock()
+        self._lock: LockLike = (
+            lock if lock is not None else threading.RLock()
+        )
         self._epochs: "OrderedDict[int, Epoch]" = OrderedDict()
         self._pins: Dict[int, int] = {}
         self._current: Optional[Epoch] = None
@@ -377,7 +411,8 @@ class EpochManager:
     def current(self) -> Epoch:
         """The latest epoch, capturing and publishing a fresh one if stale."""
         with self._lock:
-            if self._stale or self._current is None:
+            epoch = self._current
+            if self._stale or epoch is None:
                 snapshots, owners, num_nodes, num_edges = self._capture()
                 epoch = Epoch(
                     epoch_id=self._next_id,
@@ -391,17 +426,18 @@ class EpochManager:
                 self._current = epoch
                 self._stale = False
                 self._evict()
-            return self._current
+            return epoch
 
     def _evict(self) -> None:
         """Drop the oldest unpinned epochs past the retention bound."""
         overflow = len(self._epochs) - self._retention
         if overflow <= 0:
             return
+        current = self._current
         for epoch_id in list(self._epochs):
             if overflow <= 0:
                 break
-            if epoch_id == self._current.epoch_id:
+            if current is not None and epoch_id == current.epoch_id:
                 continue
             if self._pins.get(epoch_id, 0) > 0:
                 continue

@@ -31,7 +31,7 @@ from repro.engine import (
 )
 from repro.graph import DiGraph, random_graph
 from repro.pim import CostModel
-from repro.rpq import KHopQuery, RPQuery, random_source_batch
+from repro.rpq import RPQuery, random_source_batch
 
 #: Every backend, scalar reference first (the others are compared to it).
 ENGINES = ENGINE_NAMES

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.rpq import (
-    ANY_LABEL,
     Concat,
     Label,
     RegexSyntaxError,
